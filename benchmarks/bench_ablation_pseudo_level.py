@@ -1,0 +1,66 @@
+"""Ablation: filtering power vs pseudo subgraph isomorphism level.
+
+Section 6.1 predicts deeper refinement levels trade search-time for
+selectivity, converging by Theorem 2.  This bench sweeps the level on the
+Fig. 7 workload.
+"""
+
+from conftest import record_table
+
+from repro.ctree.stats import QueryStats
+from repro.ctree.subgraph_query import subgraph_query
+from repro.datasets.queries import generate_subgraph_queries
+from repro.experiments.reporting import format_series_table
+
+LEVELS = (0, 1, 2, 4, "max")
+QUERY_SIZE = 12
+QUERIES = 6
+
+
+def test_ablation_pseudo_level(benchmark, chem_tree, chem_database):
+    queries = generate_subgraph_queries(
+        chem_database, QUERY_SIZE, QUERIES, seed=31
+    )
+
+    def run_all():
+        per_level = {}
+        for level in LEVELS:
+            merged = QueryStats()
+            for q in queries:
+                _, stats = subgraph_query(chem_tree, q, level=level)
+                merged.merge(stats)
+            per_level[level] = merged
+        return per_level
+
+    per_level = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    labels = [str(level) for level in LEVELS]
+    record_table(
+        "ablation_pseudo_level",
+        format_series_table(
+            f"Ablation: pseudo-iso level ({QUERIES} size-{QUERY_SIZE} "
+            "queries, chemical)",
+            "level",
+            labels,
+            {
+                "avg |CS|": [
+                    per_level[lv].candidates / QUERIES for lv in LEVELS
+                ],
+                "accuracy": [per_level[lv].accuracy for lv in LEVELS],
+                "search (s)": [
+                    per_level[lv].search_seconds / QUERIES for lv in LEVELS
+                ],
+                "verify (s)": [
+                    per_level[lv].verify_seconds / QUERIES for lv in LEVELS
+                ],
+            },
+        ),
+    )
+
+    # Candidates shrink monotonically with the level; answers stay fixed.
+    candidate_counts = [per_level[lv].candidates for lv in LEVELS]
+    assert candidate_counts == sorted(candidate_counts, reverse=True)
+    assert len({per_level[lv].answers for lv in LEVELS}) == 1
+    # Accuracy is monotone non-decreasing in the level.
+    accuracies = [per_level[lv].accuracy for lv in LEVELS]
+    assert all(b >= a - 1e-9 for a, b in zip(accuracies, accuracies[1:]))

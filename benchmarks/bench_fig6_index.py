@@ -1,0 +1,68 @@
+"""Fig. 6: index size (a) and construction time (b) vs database size.
+
+Paper result: C-tree's index is >= 10x smaller than GraphGrep at lp=4 and
+~100x smaller at lp=10, and builds far faster; both gaps widen with lp
+because GraphGrep's path enumeration is exhaustive.
+"""
+
+from conftest import CHEM_SWEEP, INDEX_SIZE, record_table
+
+from repro.ctree.bulkload import bulk_load
+from repro.experiments.reporting import format_series_table
+from repro.experiments.subgraph_experiments import run_index_size_experiment
+from repro.graphgrep.index import GraphGrepIndex
+
+
+def test_fig6_index_size_and_construction(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_index_size_experiment(INDEX_SIZE, dataset="chemical"),
+        rounds=1, iterations=1,
+    )
+
+    series_a = {"C-tree (KB)": [b / 1024 for b in result.ctree_bytes]}
+    series_b = {"C-tree (s)": result.ctree_seconds}
+    for lp in INDEX_SIZE.graphgrep_lps:
+        series_a[f"GraphGrep lp={lp} (KB)"] = [
+            b / 1024 for b in result.graphgrep_bytes[lp]
+        ]
+        series_b[f"GraphGrep lp={lp} (s)"] = result.graphgrep_seconds[lp]
+
+    record_table(
+        "fig6a_index_size",
+        format_series_table(
+            "Fig 6(a): index size vs database size (chemical-like)",
+            "|D|", result.database_sizes, series_a, float_format="{:.1f}",
+        ),
+    )
+    record_table(
+        "fig6b_construction_time",
+        format_series_table(
+            "Fig 6(b): index construction time vs database size",
+            "|D|", result.database_sizes, series_b,
+        ),
+    )
+
+    # Shape assertions: the paper's orderings must hold.
+    for i in range(len(result.database_sizes)):
+        assert result.ctree_bytes[i] < result.graphgrep_bytes[4][i]
+        assert result.graphgrep_bytes[4][i] < result.graphgrep_bytes[10][i]
+    # lp=10 blows up by about an order of magnitude or more over lp=4.
+    assert result.graphgrep_bytes[10][-1] >= 5 * result.graphgrep_bytes[4][-1]
+
+
+def test_bench_ctree_bulk_load(benchmark, chem_database):
+    """Micro-benchmark: C-tree construction on the Fig. 7 database."""
+    tree = benchmark.pedantic(
+        lambda: bulk_load(chem_database, min_fanout=CHEM_SWEEP.min_fanout),
+        rounds=1, iterations=1,
+    )
+    assert len(tree) == len(chem_database)
+
+
+def test_bench_graphgrep_build(benchmark, chem_database):
+    """Micro-benchmark: GraphGrep (lp=4) construction on the same data."""
+    index = benchmark.pedantic(
+        lambda: GraphGrepIndex.build(chem_database, lp=4),
+        rounds=1, iterations=1,
+    )
+    assert len(index) == len(chem_database)

@@ -1,0 +1,111 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every ``bench_figN_*.py`` regenerates one figure of the paper's evaluation
+section at laptop scale.  Expensive sweeps run once per session in fixtures;
+the rendered tables are printed and written to ``benchmarks/results/`` so a
+benchmark run leaves the reproduced figures on disk.
+
+Scale: the paper used |D| = 10,000 and 1000 queries per point on 2006-era
+C++/Java.  Pure Python pays ~100x on the isomorphism inner loops, so the
+defaults here use a few hundred graphs and a handful of queries per point —
+enough to reproduce every curve's *shape*.  EXPERIMENTS.md maps each scaled
+setting to the paper's.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import (
+    IndexSizeExperimentConfig,
+    KnnExperimentConfig,
+    MappingQualityConfig,
+    SubgraphExperimentConfig,
+)
+from repro.experiments.subgraph_experiments import run_query_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Fig. 7-8 workload (chemical-like dataset).
+CHEM_SWEEP = SubgraphExperimentConfig(
+    database_size=150,
+    queries_per_size=8,
+    query_sizes=(5, 10, 15, 20, 25),
+    min_fanout=10,
+    graphgrep_lp=4,
+    levels=(1, "max"),
+    seed=7,
+)
+
+#: Fig. 9 workload (synthetic dataset, paper parameters with D scaled).
+SYNTH_SWEEP = SubgraphExperimentConfig(
+    database_size=100,
+    queries_per_size=5,
+    query_sizes=(5, 10, 15, 20, 25),
+    min_fanout=10,
+    graphgrep_lp=4,
+    levels=(1,),
+    seed=7,
+)
+
+#: Fig. 6 workload.
+INDEX_SIZE = IndexSizeExperimentConfig(
+    database_sizes=(50, 100, 200, 400),
+    min_fanout=10,
+    graphgrep_lps=(4, 10),
+    seed=7,
+)
+
+#: Fig. 10 workload.
+MAPPING_QUALITY = MappingQualityConfig(
+    group_size=25, database_size=150, bucket_width=15.0, seed=11
+)
+
+#: Fig. 11 workload.
+KNN = KnnExperimentConfig(
+    database_size=150, ks=(1, 2, 5, 10, 25, 50), queries=8, min_fanout=10,
+    seed=13,
+)
+
+
+def record_table(name: str, text: str) -> None:
+    """Print a rendered figure table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[written to benchmarks/results/{name}.txt]")
+
+
+@pytest.fixture(scope="session")
+def chem_sweep():
+    """The chemical-dataset query sweep behind Figs. 7 and 8."""
+    return run_query_sweep(CHEM_SWEEP, dataset="chemical")
+
+
+@pytest.fixture(scope="session")
+def synth_sweep():
+    """The synthetic-dataset query sweep behind Fig. 9."""
+    return run_query_sweep(SYNTH_SWEEP, dataset="synthetic")
+
+
+@pytest.fixture(scope="session")
+def chem_database():
+    from repro.datasets.chemical import generate_chemical_database
+
+    return generate_chemical_database(CHEM_SWEEP.database_size, seed=CHEM_SWEEP.seed)
+
+
+@pytest.fixture(scope="session")
+def chem_tree(chem_database):
+    from repro.ctree.bulkload import bulk_load
+
+    return bulk_load(chem_database, min_fanout=CHEM_SWEEP.min_fanout,
+                     seed=CHEM_SWEEP.seed)
+
+
+@pytest.fixture(scope="session")
+def chem_graphgrep(chem_database):
+    from repro.graphgrep.index import GraphGrepIndex
+
+    return GraphGrepIndex.build(chem_database, lp=CHEM_SWEEP.graphgrep_lp)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Structural motif search over a compound database (subgraph queries).
+
+The scenario from the paper's introduction: a chemist wants every compound
+containing a given structural motif.  We generate an AIDS-screen-like
+database, index it with both C-tree and GraphGrep, and compare their
+filtering power on the same motif queries — a miniature of Figs. 7-8.
+
+Run with:  python examples/chemical_motif_search.py
+"""
+
+import time
+
+from repro import GraphGrepIndex, bulk_load, index_size_bytes, subgraph_query
+from repro.datasets import generate_chemical_database, generate_subgraph_queries
+
+DATABASE_SIZE = 150
+QUERY_SIZES = (5, 10, 15)
+QUERIES_PER_SIZE = 5
+
+print(f"generating {DATABASE_SIZE} compounds...")
+compounds = generate_chemical_database(DATABASE_SIZE, seed=2026)
+avg_v = sum(g.num_vertices for g in compounds) / len(compounds)
+avg_e = sum(g.num_edges for g in compounds) / len(compounds)
+print(f"  avg |V|={avg_v:.1f}, avg |E|={avg_e:.1f}")
+
+print("\nbuilding indexes...")
+start = time.perf_counter()
+tree = bulk_load(compounds, min_fanout=10)
+ctree_seconds = time.perf_counter() - start
+start = time.perf_counter()
+graphgrep = GraphGrepIndex.build(compounds, lp=4)
+gg_seconds = time.perf_counter() - start
+print(f"  C-tree:    {ctree_seconds:6.2f}s, {index_size_bytes(tree):>9} bytes, "
+      f"height={tree.height()}, nodes={tree.node_count()}")
+print(f"  GraphGrep: {gg_seconds:6.2f}s, {graphgrep.index_size_bytes():>9} bytes "
+      f"(lp=4, fp=256)")
+
+header = (f"{'motif size':>10} {'answers':>8} {'C-tree |CS|':>12} "
+          f"{'GraphGrep |CS|':>15} {'C-tree acc':>11} {'GG acc':>7}")
+print("\n" + header)
+print("-" * len(header))
+
+for size in QUERY_SIZES:
+    motifs = generate_subgraph_queries(
+        compounds, size, QUERIES_PER_SIZE, seed=size
+    )
+    totals = {"ans": 0, "ct_cs": 0, "gg_cs": 0, "ct_ans": 0, "gg_ans": 0}
+    for motif in motifs:
+        answers, stats = subgraph_query(tree, motif, level="max")
+        gg_answers, gg_stats = graphgrep.query(motif)
+        assert sorted(answers) == sorted(gg_answers), "indexes disagree!"
+        totals["ans"] += len(answers)
+        totals["ct_cs"] += stats.candidates
+        totals["gg_cs"] += gg_stats.candidates
+    n = len(motifs)
+    ct_acc = totals["ans"] / totals["ct_cs"] if totals["ct_cs"] else 1.0
+    gg_acc = totals["ans"] / totals["gg_cs"] if totals["gg_cs"] else 1.0
+    print(f"{size:>10} {totals['ans'] / n:>8.1f} {totals['ct_cs'] / n:>12.1f} "
+          f"{totals['gg_cs'] / n:>15.1f} {ct_acc:>10.0%} {gg_acc:>6.0%}")
+
+print("\nC-tree candidates approach the true answer set (the paper's"
+      " ~100% accuracy at level=MAX); GraphGrep keeps more false"
+      " positives that exact isomorphism must then reject.")

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Similarity search over molecules: K-NN, range queries, mapping quality.
+
+The paper's Section 7 use case: find the compounds most similar to a query
+molecule (the building block for classification and clustering), and
+compare the two heuristic graph-mapping methods the paper evaluates in
+Fig. 10.
+
+Run with:  python examples/molecule_similarity.py
+"""
+
+from repro import bulk_load, knn_query, range_query
+from repro.datasets import generate_chemical_database
+from repro.matching import (
+    bipartite_mapping,
+    graph_distance,
+    nbm_mapping,
+    sim_upper_bound,
+)
+
+DATABASE_SIZE = 120
+
+print(f"generating {DATABASE_SIZE} compounds and building a C-tree...")
+compounds = generate_chemical_database(DATABASE_SIZE, seed=7)
+tree = bulk_load(compounds, min_fanout=8)
+
+# ----------------------------------------------------------------------
+# K-NN: the 5 compounds most similar to compound #17.
+# ----------------------------------------------------------------------
+query = compounds[17]
+print(f"\nquery: {query.name} (|V|={query.num_vertices}, |E|={query.num_edges})")
+results, stats = knn_query(tree, query, k=5)
+print("5 nearest neighbors (by approximate graph similarity):")
+for rank, (gid, similarity) in enumerate(results, start=1):
+    g = tree.get(gid)
+    print(f"  {rank}. {g.name:14s} sim={similarity:5.1f} "
+          f"(|V|={g.num_vertices}, |E|={g.num_edges})")
+print(f"accessed {stats.access_ratio:.0%} of the database "
+      f"({stats.graphs_scored} graphs scored, {stats.pruned_by_bound} pruned)")
+
+# ----------------------------------------------------------------------
+# Range query: everything within edit distance 6.
+# ----------------------------------------------------------------------
+in_range, rstats = range_query(tree, query, radius=6.0)
+print(f"\ncompounds within edit distance 6: "
+      f"{[(tree.get(g).name, d) for g, d in in_range]}")
+print(f"  ({rstats.pruned_by_bound} subtrees pruned by the closure bound)")
+
+# ----------------------------------------------------------------------
+# Mapping quality (Fig. 10 in miniature): how close do NBM and the
+# bipartite method get to the Eqn. (7) upper bound?
+# ----------------------------------------------------------------------
+print("\nmapping quality on 50 random pairs (similarity / upper bound):")
+nbm_total = bip_total = count = 0.0
+for i in range(10):
+    for j in range(50, 55):
+        g1, g2 = compounds[i], compounds[j]
+        upper = sim_upper_bound(g1, g2)
+        if upper == 0:
+            continue
+        nbm_total += nbm_mapping(g1, g2).similarity() / upper
+        bip_total += bipartite_mapping(g1, g2).similarity() / upper
+        count += 1
+print(f"  NBM (Alg. 1):        {nbm_total / count:.2f}")
+print(f"  bipartite (Sec 4.2): {bip_total / count:.2f}")
+print("NBM's neighbor bias finds more of the common substructure, matching"
+      " the paper's Fig. 10 ordering.")
+
+# ----------------------------------------------------------------------
+# Pairwise distances are symmetric up to heuristic noise.
+# ----------------------------------------------------------------------
+d_ab = graph_distance(compounds[0], compounds[1])
+d_ba = graph_distance(compounds[1], compounds[0])
+print(f"\nheuristic distances: d(0,1)={d_ab:.0f}, d(1,0)={d_ba:.0f} "
+      "(equal in most cases; both upper-bound the true edit distance)")

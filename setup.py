@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this project ships in has no network and no ``wheel``
+package, so modern PEP-517 editable installs fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work everywhere;
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's main workflows a shell-level surface:
+
+- ``generate`` — write a chemical-like or synthetic graph database (JSONL);
+- ``build``    — build a C-tree over a database and save it (JSON snapshot
+  or a page-file disk index);
+- ``query``    — run a subgraph query against a saved index;
+- ``knn`` / ``range`` — similarity queries against a saved index;
+- ``info``     — statistics of a database or saved index.
+
+Graphs on the command line are JSON, either inline or ``@file``:
+
+    python -m repro query -t tree.json -q '{"labels": ["C", "O"], "edges": [[0, 1]]}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+from repro.graphs.io import load_graph_database, save_graph_database
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.diskindex import DiskCTree
+from repro.ctree.persistence import index_size_bytes, load_tree, save_tree
+from repro.ctree.similarity_query import knn_query, range_query
+from repro.ctree.subgraph_query import subgraph_query
+from repro.datasets.chemical import generate_chemical_database
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_database
+
+
+def _parse_level(text: str):
+    return text if text == "max" else int(text)
+
+
+def _load_query_graph(spec: str) -> Graph:
+    """Parse a query graph: inline JSON or ``@path/to/file.json``."""
+    if spec.startswith("@"):
+        text = Path(spec[1:]).read_text(encoding="utf-8")
+    else:
+        text = spec
+    try:
+        return Graph.from_dict(json.loads(text))
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise SystemExit(f"error: malformed query graph: {exc}")
+
+
+def _open_index(path: str, cache_pages: int):
+    """A saved index is either a JSON snapshot or a page file."""
+    if path.endswith(".ctp"):
+        return DiskCTree.open(path, cache_pages=cache_pages)
+    return load_tree(path)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "chemical":
+        graphs = generate_chemical_database(args.count, seed=args.seed)
+    else:
+        config = SyntheticConfig(
+            num_graphs=args.count,
+            num_seeds=args.seeds,
+            seed_mean_size=args.seed_size,
+            graph_mean_size=args.graph_size,
+            num_labels=args.labels,
+        )
+        graphs = generate_synthetic_database(config, seed=args.seed)
+    count = save_graph_database(graphs, args.output)
+    avg_v = sum(g.num_vertices for g in graphs) / max(count, 1)
+    print(f"wrote {count} graphs (avg |V|={avg_v:.1f}) to {args.output}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    graphs = load_graph_database(args.input)
+    start = time.perf_counter()
+    tree = bulk_load(
+        graphs,
+        min_fanout=args.min_fanout,
+        mapping_method=args.mapping,
+        seed=args.seed,
+    )
+    build_seconds = time.perf_counter() - start
+    if args.output.endswith(".ctp"):
+        DiskCTree.create(
+            tree, args.output, page_size=args.page_size,
+            cache_pages=args.cache_pages,
+        ).close()
+        kind = "disk index"
+    else:
+        save_tree(tree, args.output)
+        kind = "JSON snapshot"
+    print(
+        f"built C-tree over {len(tree)} graphs in {build_seconds:.2f}s "
+        f"(height={tree.height()}, nodes={tree.node_count()}, "
+        f"{index_size_bytes(tree)} bytes) -> {kind} {args.output}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    query = _load_query_graph(args.query)
+    index = _open_index(args.tree, args.cache_pages)
+    try:
+        if isinstance(index, DiskCTree):
+            answers, stats = index.subgraph_query(
+                query, level=args.level, verify=not args.no_verify
+            )
+        else:
+            answers, stats = subgraph_query(
+                index, query, level=args.level, verify=not args.no_verify
+            )
+    finally:
+        if isinstance(index, DiskCTree):
+            index.close()
+    label = "candidates" if args.no_verify else "answers"
+    print(f"{label}: {sorted(answers)}")
+    print(
+        f"|CS|={stats.candidates} |Ans|={stats.answers} "
+        f"accuracy={stats.accuracy:.0%} gamma={stats.access_ratio:.2f} "
+        f"search={stats.search_seconds:.3f}s verify={stats.verify_seconds:.3f}s"
+    )
+    return 0
+
+
+def cmd_knn(args: argparse.Namespace) -> int:
+    query = _load_query_graph(args.query)
+    index = _open_index(args.tree, args.cache_pages)
+    try:
+        if isinstance(index, DiskCTree):
+            results, stats = index.knn_query(query, args.k)
+            names = dict(index.iter_graphs())
+            name_of = lambda gid: names[gid].name or f"graph-{gid}"
+        else:
+            results, stats = knn_query(index, query, args.k)
+            name_of = lambda gid: index.get(gid).name or f"graph-{gid}"
+        for rank, (gid, similarity) in enumerate(results, start=1):
+            print(f"{rank:3d}. #{gid} {name_of(gid)} sim={similarity:.1f}")
+        print(f"accessed {stats.access_ratio:.0%} of the database "
+              f"in {stats.seconds:.3f}s")
+    finally:
+        if isinstance(index, DiskCTree):
+            index.close()
+    return 0
+
+
+def cmd_range(args: argparse.Namespace) -> int:
+    query = _load_query_graph(args.query)
+    tree = load_tree(args.tree)
+    results, stats = range_query(tree, query, args.radius)
+    for gid, distance in results:
+        name = tree.get(gid).name or f"graph-{gid}"
+        print(f"#{gid} {name} distance={distance:.1f}")
+    print(f"{len(results)} graphs within distance {args.radius} "
+          f"({stats.pruned_by_bound} subtrees pruned, {stats.seconds:.3f}s)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    path = args.input
+    if path.endswith(".ctp"):
+        with DiskCTree.open(path) as disk:
+            print(f"disk C-tree index: |D|={len(disk)} height={disk.height} "
+                  f"pages={disk.pool.pagefile.page_count} "
+                  f"page_size={disk.pool.pagefile.page_size}")
+        return 0
+    if path.endswith(".json"):
+        tree = load_tree(path)
+        print(f"C-tree snapshot: {tree}")
+        print(f"index size: {index_size_bytes(tree)} bytes "
+              f"({index_size_bytes(tree, include_graphs=False)} without graphs)")
+        return 0
+    graphs = load_graph_database(path)
+    if not graphs:
+        print("empty database")
+        return 0
+    sizes = [g.num_vertices for g in graphs]
+    edges = [g.num_edges for g in graphs]
+    labels = {g.label(v) for g in graphs for v in g.vertices()}
+    print(f"database: {len(graphs)} graphs")
+    print(f"vertices: avg={sum(sizes) / len(sizes):.1f} "
+          f"min={min(sizes)} max={max(sizes)}")
+    print(f"edges:    avg={sum(edges) / len(edges):.1f} "
+          f"min={min(edges)} max={max(edges)}")
+    print(f"distinct vertex labels: {len(labels)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Closure-tree graph index (He & Singh, ICDE 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a graph database (JSONL)")
+    p.add_argument("kind", choices=["chemical", "synthetic"])
+    p.add_argument("-n", "--count", type=int, default=100)
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seeds", type=int, default=100,
+                   help="synthetic: seed pool size S")
+    p.add_argument("--seed-size", type=float, default=10.0,
+                   help="synthetic: mean seed size I")
+    p.add_argument("--graph-size", type=float, default=50.0,
+                   help="synthetic: mean graph size T")
+    p.add_argument("--labels", type=int, default=10,
+                   help="synthetic: distinct labels L")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("build", help="build a C-tree index")
+    p.add_argument("-i", "--input", required=True, help="JSONL database")
+    p.add_argument("-o", "--output", required=True,
+                   help="*.json snapshot or *.ctp disk index")
+    p.add_argument("--min-fanout", type=int, default=10)
+    p.add_argument("--mapping", default="nbm",
+                   choices=["nbm", "bipartite", "bipartite_unweighted"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--page-size", type=int, default=4096)
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("query", help="subgraph query against a saved index")
+    p.add_argument("-t", "--tree", required=True,
+                   help="*.json snapshot or *.ctp disk index")
+    p.add_argument("-q", "--query", required=True,
+                   help="query graph as JSON, or @file.json")
+    p.add_argument("--level", type=_parse_level, default=1,
+                   help="pseudo-iso level (int or 'max')")
+    p.add_argument("--no-verify", action="store_true",
+                   help="return unverified candidates")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("knn", help="K nearest neighbors of a query graph")
+    p.add_argument("-t", "--tree", required=True,
+                   help="*.json snapshot or *.ctp disk index")
+    p.add_argument("-q", "--query", required=True)
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_knn)
+
+    p = sub.add_parser("range", help="graphs within an edit-distance radius")
+    p.add_argument("-t", "--tree", required=True, help="*.json snapshot")
+    p.add_argument("-q", "--query", required=True)
+    p.add_argument("-r", "--radius", type=float, required=True)
+    p.set_defaults(func=cmd_range)
+
+    p = sub.add_parser("info", help="statistics of a database or index")
+    p.add_argument("-i", "--input", required=True,
+                   help="*.jsonl database, *.json snapshot or *.ctp index")
+    p.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

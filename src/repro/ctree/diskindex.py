@@ -1,0 +1,407 @@
+"""Disk-backed C-tree (the paper's advantage #4).
+
+"Dynamic insertion/deletion and disk-based access of graphs can be done
+efficiently" — this module materializes a built C-tree into a page file
+(one record per node, one per graph) and answers subgraph queries by
+reading nodes on demand through an LRU buffer pool.  The interesting
+quantity is page I/O per query as a function of cache capacity, which
+``benchmarks/bench_ablation_diskio.py`` sweeps.
+
+Usage::
+
+    tree = bulk_load(graphs, ...)
+    with DiskCTree.create(tree, "index.ctp", cache_pages=128) as disk:
+        answers, stats = disk.subgraph_query(query)
+        print(stats.page_misses, stats.page_hits)
+
+    with DiskCTree.open("index.ctp") as disk:   # later, cold
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from repro.exceptions import PersistenceError
+from repro.graphs.closure import GraphClosure
+from repro.graphs.graph import Graph
+from repro.graphs.histogram import LabelHistogram
+from repro.matching.pseudo_iso import (
+    Level,
+    global_semi_perfect,
+    pseudo_compatibility_domains,
+)
+from repro.matching.ullmann import subgraph_isomorphic
+from repro.ctree.node import CTreeNode, LeafEntry
+from repro.ctree.stats import KnnStats, QueryStats
+from repro.ctree.tree import CTree
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagefile import PageFile, PathLike
+from repro.storage.recordstore import RecordStore
+
+_FORMAT = 1
+
+
+@dataclass
+class DiskQueryStats(QueryStats):
+    """Query counters plus buffer-pool I/O deltas."""
+
+    page_hits: int = 0
+    page_misses: int = 0
+
+    @property
+    def page_hit_ratio(self) -> float:
+        total = self.page_hits + self.page_misses
+        return self.page_hits / total if total else 0.0
+
+
+@dataclass
+class DiskKnnStats(KnnStats):
+    """K-NN counters plus buffer-pool I/O deltas."""
+
+    page_hits: int = 0
+    page_misses: int = 0
+
+    @property
+    def page_hit_ratio(self) -> float:
+        total = self.page_hits + self.page_misses
+        return self.page_hits / total if total else 0.0
+
+
+class DiskCTree:
+    """A read-only, page-resident snapshot of a C-tree."""
+
+    def __init__(self, store: RecordStore, meta: dict) -> None:
+        self._store = store
+        self._meta = meta
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction / opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        tree: CTree,
+        path: PathLike,
+        page_size: int = 4096,
+        cache_pages: int = 128,
+    ) -> "DiskCTree":
+        """Materialize a built (in-memory) C-tree into a page file."""
+        pagefile = PageFile.create(path, page_size=page_size)
+        pool = BufferPool(pagefile, capacity=cache_pages)
+        store = RecordStore(pool)
+
+        def write_node(node: CTreeNode) -> int:
+            record: dict = {"leaf": node.is_leaf}
+            if node.closure is not None:
+                record["closure"] = node.closure.to_dict()
+            if node.is_leaf:
+                graphs = []
+                for child in node.children:
+                    assert isinstance(child, LeafEntry)
+                    graph_record = store.store(
+                        json.dumps(child.graph.to_dict(),
+                                   separators=(",", ":")).encode("utf-8")
+                    )
+                    graphs.append([child.graph_id, graph_record])
+                record["graphs"] = graphs
+            else:
+                record["children"] = [
+                    write_node(child)
+                    for child in node.children
+                    if isinstance(child, CTreeNode)
+                ]
+            return store.store(
+                json.dumps(record, separators=(",", ":")).encode("utf-8")
+            )
+
+        root_record = write_node(tree.root)
+        meta = {
+            "format": _FORMAT,
+            "root": root_record,
+            "graph_count": len(tree),
+            "height": tree.height(),
+        }
+        meta_record = store.store(
+            json.dumps(meta, separators=(",", ":")).encode("utf-8")
+        )
+        pagefile.user_root = meta_record
+        pool.flush()
+        return cls(store, meta)
+
+    @classmethod
+    def open(cls, path: PathLike, cache_pages: int = 128) -> "DiskCTree":
+        """Open an existing disk index (cold cache)."""
+        pagefile = PageFile.open(path)
+        pool = BufferPool(pagefile, capacity=cache_pages)
+        store = RecordStore(pool)
+        meta_record = pagefile.user_root
+        if meta_record == 0:
+            pagefile.close()
+            raise PersistenceError(f"{path}: no index metadata")
+        try:
+            meta = json.loads(store.load(meta_record).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            pagefile.close()
+            raise PersistenceError(f"{path}: corrupt metadata: {exc}") from exc
+        if meta.get("format") != _FORMAT:
+            pagefile.close()
+            raise PersistenceError(
+                f"{path}: unsupported format {meta.get('format')!r}"
+            )
+        return cls(store, meta)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._meta["graph_count"]
+
+    @property
+    def height(self) -> int:
+        return self._meta["height"]
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._store.pool
+
+    def _load_record(self, record_id: int) -> dict:
+        return json.loads(self._store.load(record_id).decode("utf-8"))
+
+    def _load_graph(self, record_id: int) -> Graph:
+        return Graph.from_dict(self._load_record(record_id))
+
+    def iter_graphs(self):
+        """Yield ``(graph_id, graph)`` for every stored graph (full scan)."""
+        stack = [self._meta["root"]]
+        while stack:
+            record = self._load_record(stack.pop())
+            if record["leaf"]:
+                for graph_id, graph_record in record.get("graphs", []):
+                    yield (graph_id, self._load_graph(graph_record))
+            else:
+                stack.extend(record.get("children", []))
+
+    # ------------------------------------------------------------------
+    # Query processing (Alg. 3 over disk-resident nodes)
+    # ------------------------------------------------------------------
+    def subgraph_query(
+        self,
+        query: Graph,
+        level: Level = 1,
+        verify: bool = True,
+    ) -> tuple[list[int], DiskQueryStats]:
+        """Subgraph query reading nodes and graphs on demand."""
+        self._check_open()
+        pool = self._store.pool
+        hits0, misses0 = pool.hits, pool.misses
+
+        stats = DiskQueryStats(database_size=len(self))
+        query_hist = LabelHistogram.of(query)
+        candidates: list[tuple[int, int]] = []  # (graph_id, graph record)
+
+        start = time.perf_counter()
+        if len(self):
+            self._visit(
+                self._meta["root"], 0, query, query_hist, level,
+                candidates, stats,
+            )
+        stats.search_seconds = time.perf_counter() - start
+        stats.candidates = len(candidates)
+
+        answers: list[int] = []
+        if verify:
+            start = time.perf_counter()
+            for graph_id, graph_record in candidates:
+                graph = self._load_graph(graph_record)
+                domains = pseudo_compatibility_domains(query, graph, level)
+                stats.isomorphism_tests += 1
+                if subgraph_isomorphic(query, graph, domains):
+                    answers.append(graph_id)
+            stats.verify_seconds = time.perf_counter() - start
+            stats.answers = len(answers)
+
+        stats.page_hits = pool.hits - hits0
+        stats.page_misses = pool.misses - misses0
+        return (answers if verify else [gid for gid, _ in candidates], stats)
+
+    def _visit(
+        self,
+        record_id: int,
+        depth: int,
+        query: Graph,
+        query_hist: LabelHistogram,
+        level: Level,
+        candidates: list,
+        stats: DiskQueryStats,
+    ) -> None:
+        record = self._load_record(record_id)
+        stats.nodes_expanded += 1
+        closure = GraphClosure.from_dict(record["closure"])
+        # On disk, the parent does not cache child histograms: the node's own
+        # histogram gates the whole subtree, then children are tested after
+        # being read — one histogram test + one pseudo test per child, like
+        # the in-memory Alg. 3 but at record granularity.
+        survivors_x = survivors_y = 0
+        if record["leaf"]:
+            for graph_id, graph_record in record.get("graphs", []):
+                stats.histogram_tests += 1
+                graph = self._load_graph(graph_record)
+                if not LabelHistogram.of(graph).dominates(query_hist):
+                    continue
+                survivors_x += 1
+                stats.pseudo_tests += 1
+                domains = pseudo_compatibility_domains(query, graph, level)
+                if global_semi_perfect(domains, graph.num_vertices):
+                    survivors_y += 1
+                    stats.pseudo_survivors += 1
+                    candidates.append((graph_id, graph_record))
+            stats.record_level(depth, survivors_x, survivors_y)
+            return
+        descend = []
+        for child_record in record.get("children", []):
+            child = self._load_record(child_record)
+            child_closure = GraphClosure.from_dict(child["closure"])
+            stats.histogram_tests += 1
+            if not LabelHistogram.of(child_closure).dominates(query_hist):
+                continue
+            survivors_x += 1
+            stats.pseudo_tests += 1
+            domains = pseudo_compatibility_domains(query, child_closure, level)
+            if global_semi_perfect(domains, child_closure.num_vertices):
+                survivors_y += 1
+                stats.pseudo_survivors += 1
+                descend.append(child_record)
+        stats.record_level(depth, survivors_x, survivors_y)
+        for child_record in descend:
+            self._visit(
+                child_record, depth + 1, query, query_hist, level,
+                candidates, stats,
+            )
+
+    # ------------------------------------------------------------------
+    # K-NN over disk-resident nodes (Alg. 4 with deferred exact scoring)
+    # ------------------------------------------------------------------
+    def knn_query(
+        self,
+        query: Graph,
+        k: int,
+        mapping_method: str = "nbm",
+    ) -> tuple[list[tuple[int, float]], "DiskKnnStats"]:
+        """The K most similar stored graphs, reading records on demand.
+
+        Same incremental-ranking scheme as the in-memory
+        :func:`~repro.ctree.similarity_query.knn_query`, with page I/O
+        deltas reported in the stats.
+        """
+        import heapq
+        import itertools
+
+        from repro.matching.bounds import sim_upper_bound
+        from repro.matching.edit_distance import graph_similarity
+
+        self._check_open()
+        pool = self._store.pool
+        hits0, misses0 = pool.hits, pool.misses
+        stats = DiskKnnStats(database_size=len(self))
+        if k <= 0 or len(self) == 0:
+            return ([], stats)
+
+        start = time.perf_counter()
+        counter = itertools.count()
+        _NODE, _GRAPH_BOUND, _GRAPH_EXACT = 0, 1, 2
+        heap: list[tuple[float, int, int, object]] = []
+        heapq.heappush(heap, (0.0, next(counter), _NODE, self._meta["root"]))
+
+        best_k: list[float] = []
+        lower_bound = float("-inf")
+
+        def note_similarity(sim: float) -> None:
+            nonlocal lower_bound
+            if len(best_k) < k:
+                heapq.heappush(best_k, sim)
+            else:
+                heapq.heappushpop(best_k, sim)
+            if len(best_k) >= k:
+                lower_bound = best_k[0]
+
+        results: list[tuple[int, float]] = []
+        while heap and len(results) < k:
+            neg_key, _, kind, payload = heapq.heappop(heap)
+            if -neg_key < lower_bound:
+                stats.pruned_by_bound += 1
+                continue
+            if kind == _GRAPH_EXACT:
+                results.append(payload)  # type: ignore[arg-type]
+                stats.results += 1
+            elif kind == _GRAPH_BOUND:
+                graph_id, graph_record = payload  # type: ignore[misc]
+                graph = self._load_graph(graph_record)
+                stats.graphs_scored += 1
+                sim = graph_similarity(query, graph, method=mapping_method)
+                note_similarity(sim)
+                if sim >= lower_bound:
+                    heapq.heappush(
+                        heap,
+                        (-sim, next(counter), _GRAPH_EXACT, (graph_id, sim)),
+                    )
+                else:
+                    stats.pruned_by_bound += 1
+            else:
+                record = self._load_record(payload)  # type: ignore[arg-type]
+                stats.nodes_expanded += 1
+                if record["leaf"]:
+                    for graph_id, graph_record in record.get("graphs", []):
+                        stats.children_scored += 1
+                        graph = self._load_graph(graph_record)
+                        bound = sim_upper_bound(query, graph)
+                        if bound < lower_bound:
+                            stats.pruned_by_bound += 1
+                            continue
+                        heapq.heappush(
+                            heap,
+                            (-bound, next(counter), _GRAPH_BOUND,
+                             (graph_id, graph_record)),
+                        )
+                else:
+                    for child_record in record.get("children", []):
+                        stats.children_scored += 1
+                        child = self._load_record(child_record)
+                        closure = GraphClosure.from_dict(child["closure"])
+                        bound = sim_upper_bound(query, closure)
+                        if bound < lower_bound:
+                            stats.pruned_by_bound += 1
+                            continue
+                        heapq.heappush(
+                            heap, (-bound, next(counter), _NODE, child_record)
+                        )
+
+        stats.seconds = time.perf_counter() - start
+        stats.page_hits = pool.hits - hits0
+        stats.page_misses = pool.misses - misses0
+        return (results, stats)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._store.pool.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._store.pool.close()
+            self._closed = True
+
+    def __enter__(self) -> "DiskCTree":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PersistenceError("disk index is closed")
+
+    def __repr__(self) -> str:
+        return (f"<DiskCTree |D|={len(self)} height={self.height} "
+                f"pages={self._store.pool.pagefile.page_count}>")

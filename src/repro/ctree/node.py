@@ -1,0 +1,152 @@
+"""C-tree nodes (Section 5.1).
+
+A node is a graph closure of its children.  Leaf nodes hold database graphs
+(wrapped in :class:`LeafEntry` so each carries its database id); internal
+nodes hold child nodes.  Every node caches its closure and the closure's
+label histogram — the two summaries the query processors prune with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Union
+
+from repro.graphs.closure import GraphClosure, GraphLike, as_closure
+from repro.graphs.graph import Graph
+from repro.graphs.histogram import LabelHistogram
+
+#: A mapper takes two graph-like objects and returns a GraphMapping.
+Mapper = Callable[[GraphLike, GraphLike], "object"]
+
+
+@dataclass
+class LeafEntry:
+    """A database graph stored at a leaf.
+
+    The graph's label histogram is cached on first use — Alg. 3 tests it
+    on every query that reaches the leaf.
+    """
+
+    graph_id: int
+    graph: Graph
+    _histogram: Optional[LabelHistogram] = None
+
+    @property
+    def histogram(self) -> LabelHistogram:
+        if self._histogram is None:
+            self._histogram = LabelHistogram.of(self.graph)
+        return self._histogram
+
+    def __repr__(self) -> str:
+        return f"<LeafEntry #{self.graph_id} {self.graph!r}>"
+
+
+Child = Union["CTreeNode", LeafEntry]
+
+
+class CTreeNode:
+    """One node of a C-tree."""
+
+    __slots__ = ("is_leaf", "children", "closure", "histogram", "parent")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.children: list[Child] = []
+        self.closure: Optional[GraphClosure] = None
+        self.histogram: Optional[LabelHistogram] = None
+        self.parent: Optional["CTreeNode"] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def fanout(self) -> int:
+        return len(self.children)
+
+    def height(self) -> int:
+        """0 for leaves, 1 + child height otherwise."""
+        node, h = self, 0
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[assignment]
+            h += 1
+        return h
+
+    @staticmethod
+    def child_closure(child: Child) -> GraphClosure:
+        """The closure summarizing one child (a graph's singleton closure,
+        or an inner node's cached closure)."""
+        if isinstance(child, LeafEntry):
+            return as_closure(child.graph)
+        assert child.closure is not None, "inner node without closure"
+        return child.closure
+
+    @staticmethod
+    def child_graph_like(child: Child) -> GraphLike:
+        """The graph-like object tested during queries: the raw graph for
+        leaf entries (cheaper than its closure view), the closure for
+        nodes."""
+        if isinstance(child, LeafEntry):
+            return child.graph
+        assert child.closure is not None
+        return child.closure
+
+    @staticmethod
+    def child_histogram(child: Child) -> LabelHistogram:
+        assert child.histogram is not None
+        return child.histogram
+
+    # ------------------------------------------------------------------
+    def add_child(self, child: Child) -> None:
+        self.children.append(child)
+        if isinstance(child, CTreeNode):
+            child.parent = self
+
+    def remove_child(self, child: Child) -> None:
+        self.children.remove(child)
+        if isinstance(child, CTreeNode):
+            child.parent = None
+
+    # ------------------------------------------------------------------
+    def extend_summary(self, addition: GraphLike, mapper: Mapper) -> None:
+        """Enlarge this node's closure/histogram to cover ``addition``
+        (incremental closure, Section 3)."""
+        added = as_closure(addition)
+        if self.closure is None:
+            self.closure = added.copy()
+            self.histogram = LabelHistogram.of(self.closure)
+            return
+        mapping = mapper(self.closure, added)
+        self.closure = mapping.closure()
+        self.histogram = LabelHistogram.of(self.closure)
+
+    def rebuild_summary(self, mapper: Mapper) -> None:
+        """Recompute closure/histogram from scratch over all children
+        (used after deletions, when closures must shrink)."""
+        self.closure = None
+        self.histogram = None
+        for child in self.children:
+            self.extend_summary(self.child_closure(child), mapper)
+
+    # ------------------------------------------------------------------
+    def iter_leaf_entries(self) -> Iterator[LeafEntry]:
+        """All database graphs below this node."""
+        if self.is_leaf:
+            for child in self.children:
+                assert isinstance(child, LeafEntry)
+                yield child
+        else:
+            for child in self.children:
+                assert isinstance(child, CTreeNode)
+                yield from child.iter_leaf_entries()
+
+    def count_nodes(self) -> int:
+        """Number of tree nodes in this subtree (including self)."""
+        if self.is_leaf:
+            return 1
+        return 1 + sum(
+            child.count_nodes()
+            for child in self.children
+            if isinstance(child, CTreeNode)
+        )
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "node"
+        return f"<CTreeNode {kind} fanout={self.fanout}>"

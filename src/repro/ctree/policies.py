@@ -1,0 +1,192 @@
+"""Insertion and split policies (Sections 5.2-5.3).
+
+Insertion must choose which child subtree receives a new graph; splitting
+must partition an overflowing node's children into two groups.  The paper
+lists three options for each and picks *minimum volume increase* for
+insertion and *linear pivot-based partitioning* for splits as the
+quality/time trade-off; both defaults are implemented here alongside the
+alternatives, which the ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Sequence
+
+from repro.exceptions import ConfigError
+from repro.graphs.closure import GraphClosure, GraphLike
+from repro.ctree.node import Child, CTreeNode, Mapper
+
+InsertPolicy = Callable[..., int]
+SplitPolicy = Callable[..., tuple[list[int], list[int]]]
+
+
+# ----------------------------------------------------------------------
+# Insertion: choose a child index for a new graph
+# ----------------------------------------------------------------------
+def choose_child_random(
+    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+) -> int:
+    """Uniformly random child."""
+    return rng.randrange(node.fanout)
+
+
+def choose_child_min_volume(
+    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+) -> int:
+    """The child whose closure grows the least in (log-)volume when the
+    graph is added — the paper's default (linear in the fanout)."""
+    best_index, best_increase = 0, float("inf")
+    for i, child in enumerate(node.children):
+        closure = CTreeNode.child_closure(child)
+        enlarged = mapper(closure, graph).closure()
+        increase = enlarged.log_volume() - closure.log_volume()
+        if increase < best_increase:
+            best_index, best_increase = i, increase
+    return best_index
+
+
+def choose_child_min_overlap(
+    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+) -> int:
+    """The child whose enlargement least increases its similarity overlap
+    with its siblings (quadratic in the fanout)."""
+    closures = [CTreeNode.child_closure(c) for c in node.children]
+    best_index, best_increase = 0, float("inf")
+    for i, closure in enumerate(closures):
+        enlarged = mapper(closure, graph).closure()
+        increase = 0.0
+        for j, other in enumerate(closures):
+            if j == i:
+                continue
+            before = mapper(closure, other).similarity()
+            after = mapper(enlarged, other).similarity()
+            increase += after - before
+        if increase < best_increase:
+            best_index, best_increase = i, increase
+    return best_index
+
+
+INSERT_POLICIES: dict[str, InsertPolicy] = {
+    "random": choose_child_random,
+    "min_volume": choose_child_min_volume,
+    "min_overlap": choose_child_min_overlap,
+}
+
+
+# ----------------------------------------------------------------------
+# Splitting: partition child indices into two groups
+# ----------------------------------------------------------------------
+def split_random(
+    children: Sequence[Child],
+    mapper: Mapper,
+    rng: random.Random,
+    min_fanout: int,
+) -> tuple[list[int], list[int]]:
+    """Random even partition."""
+    indices = list(range(len(children)))
+    rng.shuffle(indices)
+    half = len(indices) // 2
+    return (indices[:half], indices[half:])
+
+
+def split_linear(
+    children: Sequence[Child],
+    mapper: Mapper,
+    rng: random.Random,
+    min_fanout: int,
+) -> tuple[list[int], list[int]]:
+    """Linear pivot partitioning (the paper's default, FastMap-inspired).
+
+    1. pick a random child g0;
+    2. g1 := farthest child from g0 (closure distance);
+    3. g2 := farthest child from g1 — (g1, g2) is the pivot;
+    4. sort children by ``d(gi, g1) - d(gi, g2)`` and cut in half.
+
+    Cost: 3 distance sweeps, i.e. linear in the fanout.
+    """
+    closures = [CTreeNode.child_closure(c) for c in children]
+
+    def distance(a: GraphClosure, b: GraphClosure) -> float:
+        return mapper(a, b).edit_cost()
+
+    g0 = rng.randrange(len(closures))
+    d0 = [distance(c, closures[g0]) for c in closures]
+    g1 = max(range(len(closures)), key=lambda i: d0[i])
+    d1 = [distance(c, closures[g1]) for c in closures]
+    g2 = max(range(len(closures)), key=lambda i: d1[i])
+    d2 = [distance(c, closures[g2]) for c in closures]
+
+    order = sorted(range(len(closures)), key=lambda i: d1[i] - d2[i])
+    half = len(order) // 2
+    return (order[:half], order[half:])
+
+
+def split_optimal(
+    children: Sequence[Child],
+    mapper: Mapper,
+    rng: random.Random,
+    min_fanout: int,
+) -> tuple[list[int], list[int]]:
+    """Exhaustive partitioning minimizing the sum of group (log-)volumes.
+
+    Exponential in the fanout; refuse beyond 16 children.  Provided for the
+    ablation study and for correctness tests on tiny trees.
+    """
+    n = len(children)
+    if n > 16:
+        raise ConfigError(f"optimal split limited to 16 children, got {n}")
+    closures = [CTreeNode.child_closure(c) for c in children]
+
+    def group_log_volume(indices: tuple[int, ...]) -> float:
+        closure = closures[indices[0]].copy()
+        for i in indices[1:]:
+            closure = mapper(closure, closures[i]).closure()
+        return closure.log_volume()
+
+    best: tuple[list[int], list[int]] | None = None
+    best_cost = float("inf")
+    lower = max(min_fanout, 1)
+    indices = list(range(n))
+    # Fix index 0 in the first group to halve the symmetric search space.
+    for size in range(lower, n - lower + 1):
+        for combo in itertools.combinations(indices[1:], size - 1):
+            group1 = (0, *combo)
+            group2 = tuple(i for i in indices if i not in group1)
+            if len(group2) < lower:
+                continue
+            cost = group_log_volume(group1) + group_log_volume(group2)
+            if cost < best_cost:
+                best_cost = cost
+                best = (list(group1), list(group2))
+    if best is None:
+        raise ConfigError(
+            f"cannot split {n} children with min_fanout={min_fanout}"
+        )
+    return best
+
+
+SPLIT_POLICIES: dict[str, SplitPolicy] = {
+    "random": split_random,
+    "linear": split_linear,
+    "optimal": split_optimal,
+}
+
+
+def resolve_insert_policy(name: str) -> InsertPolicy:
+    try:
+        return INSERT_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown insert policy {name!r}; choose from {sorted(INSERT_POLICIES)}"
+        ) from None
+
+
+def resolve_split_policy(name: str) -> SplitPolicy:
+    try:
+        return SPLIT_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown split policy {name!r}; choose from {sorted(SPLIT_POLICIES)}"
+        ) from None

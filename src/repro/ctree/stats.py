@@ -1,0 +1,117 @@
+"""Query statistics counters (Table 1 notation).
+
+Every query processor fills a :class:`QueryStats`; the experiment harness
+aggregates them into the paper's reported quantities: candidate set size
+``|CS|``, answer set size ``|Ans|``, accuracy ``|Ans|/|CS|``, access ratio
+``γ = R / |D|``, and search/verification time split.  The per-level
+``x(i)``/``y(i)`` counts feed the Section 6.3 cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryStats:
+    """Counters for one query execution."""
+
+    database_size: int = 0
+    #: children tested against the query histogram
+    histogram_tests: int = 0
+    #: children surviving the histogram test (= pseudo-iso tests run); the
+    #: paper's R counts these "visited and tested" nodes and graphs
+    pseudo_tests: int = 0
+    #: children surviving the pseudo test (descended into, or made candidates)
+    pseudo_survivors: int = 0
+    #: internal nodes whose children were scanned
+    nodes_expanded: int = 0
+    candidates: int = 0
+    answers: int = 0
+    #: exact isomorphism tests run in the verification phase
+    isomorphism_tests: int = 0
+    search_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    #: per-depth sums: x_by_level[i] = children surviving histogram at depth i
+    x_by_level: list[int] = field(default_factory=list)
+    #: per-depth sums: y_by_level[i] = children surviving pseudo at depth i
+    y_by_level: list[int] = field(default_factory=list)
+    #: per-depth count of expanded nodes (to average x, y per node)
+    nodes_by_level: list[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def record_level(self, depth: int, x: int, y: int) -> None:
+        """Record one expanded node at ``depth`` with ``x`` histogram
+        survivors and ``y`` pseudo survivors among its children."""
+        while len(self.x_by_level) <= depth:
+            self.x_by_level.append(0)
+            self.y_by_level.append(0)
+            self.nodes_by_level.append(0)
+        self.x_by_level[depth] += x
+        self.y_by_level[depth] += y
+        self.nodes_by_level[depth] += 1
+
+    @property
+    def access_ratio(self) -> float:
+        """γ: fraction of the database 'visited' (R / |D|).
+
+        R counts nodes and database graphs tested by pseudo subgraph
+        isomorphism, matching the paper's Section 6.3 accounting.
+        """
+        if self.database_size == 0:
+            return 0.0
+        return self.pseudo_tests / self.database_size
+
+    @property
+    def accuracy(self) -> float:
+        """α = |Ans| / |CS| (1.0 for an empty candidate set)."""
+        if self.candidates == 0:
+            return 1.0
+        return self.answers / self.candidates
+
+    @property
+    def total_seconds(self) -> float:
+        return self.search_seconds + self.verify_seconds
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another query's counters into this one (for averaging
+        across a workload)."""
+        self.database_size = max(self.database_size, other.database_size)
+        self.histogram_tests += other.histogram_tests
+        self.pseudo_tests += other.pseudo_tests
+        self.pseudo_survivors += other.pseudo_survivors
+        self.nodes_expanded += other.nodes_expanded
+        self.candidates += other.candidates
+        self.answers += other.answers
+        self.isomorphism_tests += other.isomorphism_tests
+        self.search_seconds += other.search_seconds
+        self.verify_seconds += other.verify_seconds
+        for depth in range(len(other.x_by_level)):
+            self.record_level(
+                depth, other.x_by_level[depth], other.y_by_level[depth]
+            )
+            # record_level bumped nodes_by_level by 1; fix to the real count
+            self.nodes_by_level[depth] += other.nodes_by_level[depth] - 1
+
+
+@dataclass
+class KnnStats:
+    """Counters for one K-NN or range query."""
+
+    database_size: int = 0
+    nodes_expanded: int = 0
+    #: children whose similarity bound / distance was evaluated
+    children_scored: int = 0
+    #: database graphs whose (approximate) similarity was computed
+    graphs_scored: int = 0
+    pruned_by_bound: int = 0
+    results: int = 0
+    seconds: float = 0.0
+
+    @property
+    def access_ratio(self) -> float:
+        """Fraction of database 'accessed': nodes expanded plus graphs
+        scored, over |D| (the paper's K-NN access ratio, Fig. 11a)."""
+        if self.database_size == 0:
+            return 0.0
+        return (self.nodes_expanded + self.graphs_scored) / self.database_size

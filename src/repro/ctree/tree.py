@@ -1,0 +1,384 @@
+"""The Closure-tree (Section 5).
+
+A C-tree is a balanced tree in the R-tree family: leaves hold database
+graphs, every node is summarized by the graph closure of its children, and
+nodes have between ``min_fanout`` and ``max_fanout`` children (except the
+root).  Insertion descends by a child-selection policy, enlarging closures
+along the path; overflowing nodes split by a partitioning policy; deletion
+shrinks closures and reinserts the entries of underflowing nodes.
+
+All operations take polynomial time — the expensive primitive is the
+heuristic graph mapping (NBM by default) used to union closures and to
+measure closure distance during splits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.exceptions import ConfigError, IndexError_
+from repro.graphs.closure import GraphLike
+from repro.graphs.graph import Graph
+from repro.graphs.histogram import LabelHistogram
+from repro.matching.edit_distance import MAPPING_METHODS
+from repro.ctree.node import Child, CTreeNode, LeafEntry, Mapper
+from repro.ctree.policies import (
+    resolve_insert_policy,
+    resolve_split_policy,
+)
+
+#: Paper default: m = 20, M = 2m - 1.
+DEFAULT_MIN_FANOUT = 20
+
+
+class CTree:
+    """A Closure-tree over a dynamic set of labeled graphs.
+
+    Parameters
+    ----------
+    min_fanout, max_fanout:
+        Node capacity bounds ``m`` and ``M``.  Defaults follow the paper:
+        ``m = 20``, ``M = 2m - 1``.  ``(M + 1) // 2 >= m`` is required so
+        that an even split never underflows.
+    mapping_method:
+        Heuristic mapping used for closure construction and closure
+        distance: ``"nbm"`` (default) or ``"bipartite"``.
+    insert_policy:
+        ``"min_volume"`` (default), ``"min_overlap"``, or ``"random"``.
+    split_policy:
+        ``"linear"`` (default), ``"optimal"``, or ``"random"``.
+    seed:
+        Seed for the policies' internal randomness (pivot choice etc.).
+    """
+
+    def __init__(
+        self,
+        min_fanout: int = DEFAULT_MIN_FANOUT,
+        max_fanout: Optional[int] = None,
+        mapping_method: str = "nbm",
+        insert_policy: str = "min_volume",
+        split_policy: str = "linear",
+        seed: int = 0,
+    ) -> None:
+        if min_fanout < 2:
+            raise ConfigError(f"min_fanout must be >= 2, got {min_fanout}")
+        if max_fanout is None:
+            max_fanout = 2 * min_fanout - 1
+        if (max_fanout + 1) // 2 < min_fanout:
+            raise ConfigError(
+                f"(max_fanout + 1) // 2 must be >= min_fanout "
+                f"(got m={min_fanout}, M={max_fanout})"
+            )
+        if mapping_method not in MAPPING_METHODS:
+            raise ConfigError(f"unknown mapping method {mapping_method!r}")
+        self.min_fanout = min_fanout
+        self.max_fanout = max_fanout
+        self.mapping_method = mapping_method
+        self.mapper: Mapper = MAPPING_METHODS[mapping_method]
+        self._choose_child = resolve_insert_policy(insert_policy)
+        self._partition = resolve_split_policy(split_policy)
+        self.insert_policy_name = insert_policy
+        self.split_policy_name = split_policy
+        self._rng = random.Random(seed)
+        self.root = CTreeNode(is_leaf=True)
+        self._leaf_of: dict[int, CTreeNode] = {}
+        self._graphs: dict[int, Graph] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, graph_id: int) -> bool:
+        return graph_id in self._graphs
+
+    def get(self, graph_id: int) -> Graph:
+        try:
+            return self._graphs[graph_id]
+        except KeyError:
+            raise IndexError_(f"no graph with id {graph_id}") from None
+
+    def graph_ids(self) -> Iterator[int]:
+        return iter(self._graphs)
+
+    def graphs(self) -> Iterator[tuple[int, Graph]]:
+        return iter(self._graphs.items())
+
+    def height(self) -> int:
+        return self.root.height()
+
+    def node_count(self) -> int:
+        return self.root.count_nodes()
+
+    # ------------------------------------------------------------------
+    # Insertion (Section 5.2)
+    # ------------------------------------------------------------------
+    def insert(self, graph: Graph, graph_id: Optional[int] = None) -> int:
+        """Insert a graph; returns its database id."""
+        if graph_id is None:
+            graph_id = self._next_id
+        if graph_id in self._graphs:
+            raise IndexError_(f"graph id {graph_id} already present")
+        self._next_id = max(self._next_id, graph_id + 1)
+        self._graphs[graph_id] = graph
+
+        leaf = self._descend_and_extend(graph)
+        entry = LeafEntry(graph_id, graph)
+        leaf.add_child(entry)
+        self._leaf_of[graph_id] = leaf
+        self._handle_overflow(leaf)
+        return graph_id
+
+    def _descend_and_extend(self, graph: GraphLike) -> CTreeNode:
+        """Walk from the root to a leaf via the insert policy, enlarging
+        every closure on the path to cover ``graph``."""
+        node = self.root
+        node.extend_summary(graph, self.mapper)
+        while not node.is_leaf:
+            index = self._choose_child(node, graph, self.mapper, self._rng)
+            child = node.children[index]
+            assert isinstance(child, CTreeNode)
+            node = child
+            node.extend_summary(graph, self.mapper)
+        return node
+
+    def _handle_overflow(self, node: CTreeNode) -> None:
+        while node.fanout > self.max_fanout:
+            sibling = self._split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = CTreeNode(is_leaf=False)
+                new_root.add_child(node)
+                new_root.add_child(sibling)
+                new_root.rebuild_summary(self.mapper)
+                self.root = new_root
+                return
+            parent.add_child(sibling)
+            node = parent
+
+    def _split(self, node: CTreeNode) -> CTreeNode:
+        """Split ``node`` in place; returns the new sibling (Section 5.3)."""
+        group1, group2 = self._partition(
+            node.children, self.mapper, self._rng, self.min_fanout
+        )
+        if not group1 or not group2:
+            raise IndexError_("split policy produced an empty group")
+        children = node.children
+        sibling = CTreeNode(is_leaf=node.is_leaf)
+        keep = [children[i] for i in group1]
+        move = [children[i] for i in group2]
+        node.children = []
+        for child in keep:
+            node.add_child(child)
+        for child in move:
+            sibling.add_child(child)
+            if isinstance(child, LeafEntry):
+                self._leaf_of[child.graph_id] = sibling
+        node.rebuild_summary(self.mapper)
+        sibling.rebuild_summary(self.mapper)
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Deletion (Section 5.4)
+    # ------------------------------------------------------------------
+    def delete(self, graph_id: int) -> Graph:
+        """Remove a graph by id; returns it.  Underflowing nodes are
+        dissolved and their entries reinserted (non-leaf entries at their
+        original height)."""
+        leaf = self._leaf_of.pop(graph_id, None)
+        if leaf is None:
+            raise IndexError_(f"no graph with id {graph_id}")
+        graph = self._graphs.pop(graph_id)
+        entry = next(
+            c for c in leaf.children
+            if isinstance(c, LeafEntry) and c.graph_id == graph_id
+        )
+        leaf.remove_child(entry)
+
+        orphans: list[tuple[int, Child]] = []  # (height of child, child)
+        node: Optional[CTreeNode] = leaf
+        height = 0  # height of *node* (leaf = 0); its children sit below
+        while (
+            node is not None
+            and node.parent is not None
+            and node.fanout < self.min_fanout
+        ):
+            parent = node.parent
+            parent.remove_child(node)
+            for child in node.children:
+                if isinstance(child, LeafEntry):
+                    self._leaf_of.pop(child.graph_id, None)
+                    orphans.append((-1, child))
+                else:
+                    orphans.append((height - 1, child))
+            node = parent
+            height += 1
+
+        # Shrink closures from the surviving node up to the root.
+        survivor = node if node is not None else self.root
+        self._rebuild_upward(survivor)
+        self._collapse_root()
+
+        # Reinsert orphans, deepest first so heights remain consistent.
+        for child_height, child in sorted(orphans, key=lambda t: t[0]):
+            if isinstance(child, LeafEntry):
+                leaf2 = self._descend_and_extend(child.graph)
+                leaf2.add_child(child)
+                self._leaf_of[child.graph_id] = leaf2
+                self._handle_overflow(leaf2)
+            else:
+                self._reinsert_node(child, child_height)
+        return graph
+
+    def _rebuild_upward(self, node: Optional[CTreeNode]) -> None:
+        while node is not None:
+            node.rebuild_summary(self.mapper)
+            node = node.parent
+
+    def _collapse_root(self) -> None:
+        while not self.root.is_leaf and self.root.fanout == 1:
+            only = self.root.children[0]
+            assert isinstance(only, CTreeNode)
+            only.parent = None
+            self.root = only
+        if not self.root.is_leaf and self.root.fanout == 0:
+            self.root = CTreeNode(is_leaf=True)
+
+    def _reinsert_node(self, node: CTreeNode, height: int) -> None:
+        """Reattach an orphaned subtree whose leaves must end up at the same
+        depth as the tree's other leaves."""
+        root_height = self.height()
+        if root_height == height:
+            # The tree shrank to the orphan's height: splice a new root.
+            new_root = CTreeNode(is_leaf=False)
+            new_root.add_child(self.root)
+            new_root.add_child(node)
+            new_root.rebuild_summary(self.mapper)
+            self.root = new_root
+            self._restore_leaf_index(node)
+            return
+        if root_height < height:
+            # The tree shrank below the orphan: dissolve the orphan one
+            # level and reinsert its children, keeping leaves level.
+            for child in list(node.children):
+                if isinstance(child, LeafEntry):
+                    leaf = self._descend_and_extend(child.graph)
+                    leaf.add_child(child)
+                    self._leaf_of[child.graph_id] = leaf
+                    self._handle_overflow(leaf)
+                else:
+                    self._reinsert_node(child, height - 1)
+            return
+        closure = node.closure
+        assert closure is not None
+        target = self.root
+        target.extend_summary(closure, self.mapper)
+        while target.height() > height + 1:
+            index = self._choose_child(target, closure, self.mapper, self._rng)
+            child = target.children[index]
+            assert isinstance(child, CTreeNode)
+            target = child
+            target.extend_summary(closure, self.mapper)
+        target.add_child(node)
+        self._restore_leaf_index(node)
+        self._handle_overflow(target)
+
+    def _restore_leaf_index(self, node: CTreeNode) -> None:
+        for entry in node.iter_leaf_entries():
+            leaf = self._find_leaf_containing(node, entry)
+            self._leaf_of[entry.graph_id] = leaf
+
+    @staticmethod
+    def _find_leaf_containing(node: CTreeNode, entry: LeafEntry) -> CTreeNode:
+        if node.is_leaf:
+            return node
+        for child in node.children:
+            if isinstance(child, CTreeNode):
+                for e in child.iter_leaf_entries():
+                    if e is entry:
+                        return CTree._find_leaf_containing(child, entry)
+        raise IndexError_("leaf entry vanished during reinsertion")
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, deep: bool = False) -> None:
+        """Check all structural invariants; raises ``AssertionError`` on
+        violation.
+
+        The soundness invariant for query pruning is that every *database
+        graph's* histogram is dominated by the histogram of each of its
+        ancestors (a node's closure may legitimately count more label
+        occurrences than its parent's, so parent-vs-child-closure dominance
+        is *not* required).  ``deep=True`` additionally checks that every
+        database graph is pseudo sub-isomorphic (at the convergence level)
+        to every ancestor closure: a correctly built closure admits a real
+        embedding of each member, which always passes this polynomial test,
+        so a failure proves a broken closure.  (Exact Ullmann verification
+        is intentionally avoided here — against large ε-rich closures its
+        backtracking can blow up combinatorially.)
+        """
+        leaf_depths: set[int] = set()
+        seen_ids: set[int] = set()
+
+        def check(
+            node: CTreeNode, depth: int, is_root: bool, ancestors: list[CTreeNode]
+        ) -> None:
+            if is_root:
+                assert node.parent is None, "root has a parent"
+                if not node.is_leaf:
+                    assert node.fanout >= 2, "internal root needs >= 2 children"
+            else:
+                assert self.min_fanout <= node.fanout <= self.max_fanout, (
+                    f"fanout {node.fanout} outside "
+                    f"[{self.min_fanout}, {self.max_fanout}]"
+                )
+            if node.fanout and node.closure is None:
+                raise AssertionError("non-empty node lacks a closure")
+            lineage = ancestors + [node]
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                for child in node.children:
+                    assert isinstance(child, LeafEntry), "leaf holds a node"
+                    assert self._leaf_of.get(child.graph_id) is node, (
+                        f"leaf index stale for graph {child.graph_id}"
+                    )
+                    seen_ids.add(child.graph_id)
+                    self._check_graph_covered(child, lineage, deep)
+            else:
+                for child in node.children:
+                    assert isinstance(child, CTreeNode), "inner node holds a graph"
+                    assert child.parent is node, "broken parent pointer"
+                    check(child, depth + 1, False, lineage)
+
+        check(self.root, 0, True, [])
+        assert len(leaf_depths) <= 1, f"leaves at multiple depths: {leaf_depths}"
+        assert seen_ids == set(self._graphs), "leaf entries != graph catalog"
+
+    def _check_graph_covered(
+        self, entry: LeafEntry, lineage: list[CTreeNode], deep: bool
+    ) -> None:
+        graph_hist = LabelHistogram.of(entry.graph)
+        for node in lineage:
+            assert node.histogram is not None and node.closure is not None
+            assert node.histogram.dominates(graph_hist), (
+                f"ancestor histogram does not dominate graph {entry.graph_id}"
+            )
+            if deep:
+                from repro.matching.pseudo_iso import pseudo_subgraph_isomorphic
+
+                assert pseudo_subgraph_isomorphic(
+                    entry.graph, node.closure, level="max"
+                ), (
+                    f"graph {entry.graph_id} fails pseudo sub-isomorphism "
+                    f"against an ancestor closure"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"<CTree |D|={len(self)} height={self.height()} "
+            f"nodes={self.node_count()} m={self.min_fanout} M={self.max_fanout}>"
+        )

@@ -1,0 +1,91 @@
+"""Query workload generation (Section 8.1).
+
+The paper's subgraph-query workloads are built by "randomly selecting a
+graph from the database and randomly extracting a connected subgraph" of a
+given vertex count; similarity-query workloads select whole database graphs
+at random.  Both are reproduced here with explicit seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.exceptions import ConfigError, GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.operations import random_connected_subgraph
+
+#: How many source graphs to try before giving up on one query.
+_MAX_ATTEMPTS = 200
+
+
+def generate_subgraph_queries(
+    graphs: Sequence[Graph],
+    query_size: int,
+    count: int,
+    seed: int = 0,
+) -> list[Graph]:
+    """``count`` connected subgraph queries of ``query_size`` vertices, each
+    extracted from a random database graph.
+
+    Raises :class:`ConfigError` if the database cannot supply subgraphs of
+    the requested size.
+    """
+    if not graphs:
+        raise ConfigError("cannot generate queries from an empty database")
+    rng = random.Random(seed)
+    eligible = [g for g in graphs if g.num_vertices >= query_size]
+    if not eligible:
+        raise ConfigError(
+            f"no database graph has >= {query_size} vertices"
+        )
+    queries = []
+    for i in range(count):
+        query = None
+        for _ in range(_MAX_ATTEMPTS):
+            source = eligible[rng.randrange(len(eligible))]
+            try:
+                query = random_connected_subgraph(source, query_size, rng)
+                break
+            except GraphError:
+                continue
+        if query is None:
+            raise ConfigError(
+                f"failed to extract a connected {query_size}-vertex subgraph"
+            )
+        query.name = f"query-{query_size}-{i}"
+        queries.append(query)
+    return queries
+
+
+def select_similarity_queries(
+    graphs: Sequence[Graph],
+    count: int,
+    seed: int = 0,
+) -> list[Graph]:
+    """``count`` whole database graphs chosen uniformly at random (the
+    paper's K-NN workload)."""
+    if not graphs:
+        raise ConfigError("cannot select queries from an empty database")
+    rng = random.Random(seed)
+    return [graphs[rng.randrange(len(graphs))] for _ in range(count)]
+
+
+def split_disjoint_groups(
+    graphs: Sequence[Graph],
+    group_size: int,
+    seed: int = 0,
+) -> tuple[list[Graph], list[Graph]]:
+    """Two disjoint random groups of graphs (sampling without replacement),
+    as used by the Fig. 10 mapping-quality experiment."""
+    if 2 * group_size > len(graphs):
+        raise ConfigError(
+            f"need {2 * group_size} graphs for two disjoint groups of "
+            f"{group_size}, have {len(graphs)}"
+        )
+    rng = random.Random(seed)
+    indices = list(range(len(graphs)))
+    rng.shuffle(indices)
+    first = [graphs[i] for i in indices[:group_size]]
+    second = [graphs[i] for i in indices[group_size:2 * group_size]]
+    return (first, second)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Closure-tree reproduction library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or access."""
+
+
+class MappingError(ReproError):
+    """Raised for invalid graph mappings (non-bijective, out of range...)."""
+
+
+class IndexError_(ReproError):
+    """Raised for invalid index operations (named with a trailing underscore
+    to avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class PersistenceError(ReproError):
+    """Raised when (de)serialization of graphs or indexes fails."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid experiment or index configuration values."""

@@ -1,0 +1,114 @@
+"""Similarity-query experiments (Figs. 10-11).
+
+Fig. 10 measures how close the heuristic mapping methods come to the
+(unreachable) exact similarity by normalizing with the Eqn. (7) upper bound;
+Fig. 11 measures K-NN access ratio and query time as K grows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.matching.bipartite_mapping import bipartite_mapping
+from repro.matching.bounds import sim_upper_bound
+from repro.matching.nbm import nbm_mapping
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.similarity_query import knn_query
+from repro.datasets.queries import (
+    select_similarity_queries,
+    split_disjoint_groups,
+)
+from repro.experiments.config import (
+    KnnExperimentConfig,
+    MappingQualityConfig,
+)
+from repro.experiments.subgraph_experiments import DATASETS
+
+
+# ----------------------------------------------------------------------
+# Fig. 10: quality of graph mapping methods
+# ----------------------------------------------------------------------
+@dataclass
+class MappingQualityResult:
+    """Average similarity / upper-bound ratio, bucketed by upper bound."""
+
+    bucket_centers: list[float]
+    nbm_ratio: list[float]
+    bipartite_ratio: list[float]
+    pairs: int = 0
+
+
+def run_mapping_quality(
+    config: MappingQualityConfig = MappingQualityConfig(),
+    dataset: str = "chemical",
+) -> MappingQualityResult:
+    """For every cross pair of two disjoint graph groups, compute the
+    similarity under NBM and under the (weighted) bipartite method, both
+    normalized by the Eqn. (7) upper bound, and average per upper-bound
+    bucket (the paper's Fig. 10 presentation)."""
+    graphs = DATASETS[dataset](config.database_size, config.seed)
+    group1, group2 = split_disjoint_groups(
+        graphs, config.group_size, seed=config.seed
+    )
+
+    buckets: dict[int, list[tuple[float, float]]] = {}
+    pairs = 0
+    for g1 in group1:
+        for g2 in group2:
+            upper = sim_upper_bound(g1, g2)
+            if upper <= 0:
+                continue
+            nbm_sim = nbm_mapping(g1, g2).similarity()
+            bip_sim = bipartite_mapping(g1, g2).similarity()
+            bucket = int(upper // config.bucket_width)
+            buckets.setdefault(bucket, []).append(
+                (nbm_sim / upper, bip_sim / upper)
+            )
+            pairs += 1
+
+    result = MappingQualityResult(
+        bucket_centers=[], nbm_ratio=[], bipartite_ratio=[], pairs=pairs
+    )
+    for bucket in sorted(buckets):
+        ratios = buckets[bucket]
+        result.bucket_centers.append((bucket + 0.5) * config.bucket_width)
+        result.nbm_ratio.append(sum(r[0] for r in ratios) / len(ratios))
+        result.bipartite_ratio.append(sum(r[1] for r in ratios) / len(ratios))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 11: K-NN access ratio and query time vs K
+# ----------------------------------------------------------------------
+@dataclass
+class KnnSweepResult:
+    dataset: str
+    database_size: int
+    ks: list[int]
+    access_ratio: list[float] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+
+
+def run_knn_sweep(
+    config: KnnExperimentConfig = KnnExperimentConfig(),
+    dataset: str = "chemical",
+) -> KnnSweepResult:
+    """Average K-NN access ratio and wall time per K (Fig. 11)."""
+    graphs = DATASETS[dataset](config.database_size, config.seed)
+    tree = bulk_load(graphs, min_fanout=config.min_fanout, seed=config.seed)
+    queries = select_similarity_queries(graphs, config.queries, seed=config.seed)
+
+    result = KnnSweepResult(
+        dataset=dataset, database_size=config.database_size, ks=list(config.ks)
+    )
+    for k in config.ks:
+        total_ratio = 0.0
+        start = time.perf_counter()
+        for query in queries:
+            _, stats = knn_query(tree, query, k)
+            total_ratio += stats.access_ratio
+        elapsed = time.perf_counter() - start
+        result.access_ratio.append(total_ratio / len(queries))
+        result.seconds.append(elapsed / len(queries))
+    return result

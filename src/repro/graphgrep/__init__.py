@@ -1,0 +1,11 @@
+"""GraphGrep baseline (Shasha, Wang & Giugno)."""
+
+from repro.graphgrep.index import GraphGrepIndex, GraphGrepStats
+from repro.graphgrep.paths import iter_label_paths, label_path_counts
+
+__all__ = [
+    "GraphGrepIndex",
+    "GraphGrepStats",
+    "iter_label_paths",
+    "label_path_counts",
+]

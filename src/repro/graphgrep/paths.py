@@ -1,0 +1,82 @@
+"""Path enumeration for GraphGrep [10].
+
+GraphGrep's index features are all label-paths of length up to ``lp`` edges
+occurring in a graph.  This module enumerates the *simple* (vertex-distinct)
+directed paths from every vertex and returns the multiset of their label
+sequences; the same enumeration applied to a query yields comparable counts,
+because both sides use the identical convention (each undirected path of
+length >= 1 is seen once from each endpoint).
+
+The enumeration is exponential in ``lp`` in the worst case — the space and
+time overhead the paper criticizes GraphGrep for, and the reason Fig. 6
+shows its index size exploding at ``lp = 10``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Optional
+
+from repro.exceptions import ConfigError
+from repro.graphs.graph import Graph
+
+
+def iter_label_paths(
+    graph: Graph, max_length: int
+) -> Iterator[tuple]:
+    """Yield the label sequence of every simple path with up to
+    ``max_length`` edges, starting from every vertex (directed convention).
+
+    Edge labels, when present, are interleaved between vertex labels so that
+    edge-labeled graphs index correctly.
+    """
+    if max_length < 0:
+        raise ConfigError(f"max_length must be >= 0, got {max_length}")
+
+    path_vertices: list[int] = []
+    on_path: set[int] = set()
+
+    def extend(v: int, labels: tuple) -> Iterator[tuple]:
+        yield labels
+        if len(path_vertices) > max_length:
+            return
+        for w in graph.neighbors(v):
+            if w in on_path:
+                continue
+            path_vertices.append(w)
+            on_path.add(w)
+            yield from extend(
+                w, labels + (graph.edge_label(v, w), graph.label(w))
+            )
+            on_path.discard(w)
+            path_vertices.pop()
+
+    for start in graph.vertices():
+        path_vertices.append(start)
+        on_path.add(start)
+        yield from extend(start, (graph.label(start),))
+        on_path.discard(start)
+        path_vertices.pop()
+
+
+def label_path_counts(
+    graph: Graph,
+    max_length: int,
+    max_paths: Optional[int] = None,
+) -> Counter:
+    """Multiset of label-path occurrences in ``graph``.
+
+    ``max_paths`` guards against pathological blowup; exceeding it raises
+    :class:`ConfigError` rather than silently truncating the index.
+    """
+    counts: Counter = Counter()
+    total = 0
+    for labels in iter_label_paths(graph, max_length):
+        counts[labels] += 1
+        total += 1
+        if max_paths is not None and total > max_paths:
+            raise ConfigError(
+                f"graph {graph.name or ''} exceeds {max_paths} paths at "
+                f"lp={max_length}; raise max_paths or lower lp"
+            )
+    return counts

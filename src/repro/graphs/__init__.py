@@ -1,0 +1,37 @@
+"""Graph substrate: labeled graphs, closures, histograms, mappings, I/O."""
+
+from repro.graphs.closure import (
+    EPSILON,
+    WILDCARD,
+    GraphClosure,
+    as_closure,
+    closure_under_mapping,
+    contains_wildcard,
+    labels_match,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.histogram import LabelHistogram
+from repro.graphs.mapping import (
+    DUMMY_SET,
+    GraphMapping,
+    identity_mapping,
+    uniform_set_distance,
+    uniform_set_similarity,
+)
+
+__all__ = [
+    "EPSILON",
+    "WILDCARD",
+    "DUMMY_SET",
+    "Graph",
+    "GraphClosure",
+    "GraphMapping",
+    "LabelHistogram",
+    "as_closure",
+    "closure_under_mapping",
+    "contains_wildcard",
+    "labels_match",
+    "identity_mapping",
+    "uniform_set_distance",
+    "uniform_set_similarity",
+]

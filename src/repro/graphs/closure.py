@@ -1,0 +1,399 @@
+"""Graph closures (Section 3 of the paper).
+
+A *graph closure* is a generalized graph in which every vertex and every edge
+carries a **set** of labels instead of a single label.  The closure of two
+graphs under a mapping is their elementwise union: matched elements union
+their attribute values, unmatched elements union with the dummy label
+:data:`EPSILON`.  A closure acts as the structural analogue of a minimum
+bounding rectangle: it "contains" every graph that participated in building
+it.
+
+:class:`GraphClosure` deliberately mirrors the accessor protocol of
+:class:`~repro.graphs.graph.Graph` (``label_set``, ``edge_label_set``,
+``neighbors``, ``num_vertices``...) so that the matching algorithms in
+:mod:`repro.matching` work uniformly on graphs and closures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from repro.exceptions import GraphError, MappingError
+from repro.graphs.graph import Graph
+
+
+class _Epsilon:
+    """Singleton dummy label ε (Definition 2 / 7)."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ε"
+
+    def __reduce__(self):  # keeps pickling singleton-safe
+        return (_Epsilon, ())
+
+
+EPSILON = _Epsilon()
+
+
+class _Wildcard:
+    """Singleton wildcard label for queries with uncertain vertices.
+
+    The paper's introduction motivates subgraph queries where "some parts
+    are uncertain, e.g., vertices with wildcard labels".  A query vertex or
+    edge labeled :data:`WILDCARD` is label-compatible with every real label
+    (but still requires the element to exist — it never matches a dummy).
+    Wildcards are a query-side concept: database graphs should not contain
+    them.
+    """
+
+    _instance: Optional["_Wildcard"] = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+    def __reduce__(self):
+        return (_Wildcard, ())
+
+
+WILDCARD = _Wildcard()
+
+
+def labels_match(s1: frozenset, s2: frozenset) -> bool:
+    """Can two label sets agree on a value, honoring wildcards?
+
+    True when the sets intersect, or when either side contains
+    :data:`WILDCARD` (which matches any real label).  This is the
+    compatibility test used by subgraph-isomorphism machinery
+    (level-0 pseudo compatibility, Ullmann domains, edge checks).
+    """
+    if s1 & s2:
+        return True
+    return WILDCARD in s1 or WILDCARD in s2
+
+
+def contains_wildcard(g: "GraphLike") -> bool:
+    """True if any vertex or edge of ``g`` carries the wildcard label."""
+    for v in g.vertices():
+        if WILDCARD in g.label_set(v):
+            return True
+    if isinstance(g, GraphClosure):
+        return any(WILDCARD in s for _, _, s in g.edges())
+    return any(label is WILDCARD for _, _, label in g.edges())
+
+
+#: JSON marker for the dummy label.
+_EPSILON_JSON = "__epsilon__"
+#: JSON marker for the wildcard label.
+_WILDCARD_JSON = "__wildcard__"
+
+GraphLike = Union[Graph, "GraphClosure"]
+
+
+class GraphClosure:
+    """A generalized graph whose vertices and edges carry label *sets*.
+
+    Vertices are integer ids ``0..n-1``; each has a non-empty ``frozenset``
+    of labels (possibly including :data:`EPSILON`).  Edges likewise carry
+    ``frozenset`` labels.
+    """
+
+    __slots__ = ("_vlabels", "_adj", "_num_edges")
+
+    def __init__(self, vertex_label_sets: Sequence[Iterable] = ()) -> None:
+        self._vlabels: list[frozenset] = [frozenset(s) for s in vertex_label_sets]
+        for s in self._vlabels:
+            if not s:
+                raise GraphError("vertex label sets must be non-empty")
+        self._adj: list[dict[int, frozenset]] = [{} for _ in self._vlabels]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "GraphClosure":
+        """The singleton closure of one graph (every label set has size 1)."""
+        c = cls([graph.label_set(v) for v in graph.vertices()])
+        for u, v, label in graph.edges():
+            c.add_edge(u, v, frozenset((label,)))
+        return c
+
+    def add_vertex(self, label_set: Iterable) -> int:
+        s = frozenset(label_set)
+        if not s:
+            raise GraphError("vertex label sets must be non-empty")
+        self._vlabels.append(s)
+        self._adj.append({})
+        return len(self._vlabels) - 1
+
+    def add_edge(self, u: int, v: int, label_set: Iterable) -> None:
+        s = frozenset(label_set)
+        if not s:
+            raise GraphError("edge label sets must be non-empty")
+        if not (0 <= u < len(self._vlabels) and 0 <= v < len(self._vlabels)):
+            raise GraphError(f"edge ({u}, {v}) out of range")
+        if u == v:
+            raise GraphError("self-loops not supported")
+        if v in self._adj[u]:
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        self._adj[u][v] = s
+        self._adj[v][u] = s
+        self._num_edges += 1
+
+    # ------------------------------------------------------------------
+    # Shared Graph protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vlabels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._vlabels))
+
+    def label_set(self, v: int) -> frozenset:
+        return self._vlabels[v]
+
+    def neighbors(self, v: int) -> Iterable[int]:
+        return self._adj[v].keys()
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return 0 <= u < len(self._adj) and v in self._adj[u]
+
+    def edge_label_set(self, u: int, v: int) -> frozenset:
+        try:
+            return self._adj[u][v]
+        except (KeyError, IndexError) as exc:
+            raise GraphError(f"no edge ({u}, {v})") from exc
+
+    def edges(self) -> Iterator[tuple[int, int, frozenset]]:
+        for u, nbrs in enumerate(self._adj):
+            for v, s in nbrs.items():
+                if u < v:
+                    yield (u, v, s)
+
+    def adjacency(self, v: int) -> dict[int, frozenset]:
+        return self._adj[v]
+
+    # ------------------------------------------------------------------
+    # Closure-specific queries
+    # ------------------------------------------------------------------
+    def vertex_is_optional(self, v: int) -> bool:
+        """True if the vertex may be absent in a member graph (ε in set)."""
+        return EPSILON in self._vlabels[v]
+
+    def edge_is_optional(self, u: int, v: int) -> bool:
+        return EPSILON in self.edge_label_set(u, v)
+
+    def min_num_vertices(self) -> int:
+        """Lower bound on the vertex count of any member graph."""
+        return sum(1 for s in self._vlabels if EPSILON not in s)
+
+    def min_num_edges(self) -> int:
+        """Lower bound on the edge count of any member graph."""
+        return sum(1 for _, _, s in self.edges() if EPSILON not in s)
+
+    def log_volume(self) -> float:
+        """Natural log of the closure volume (Definition 10).
+
+        The raw volume (product of label-set sizes) overflows for any
+        realistic closure, so the library works with its logarithm, which is
+        order-isomorphic and is all the insertion policies need.
+        """
+        total = 0.0
+        for s in self._vlabels:
+            total += math.log(len(s))
+        for _, _, s in self.edges():
+            total += math.log(len(s))
+        return total
+
+    # ------------------------------------------------------------------
+    # Equality / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphClosure):
+            return NotImplemented
+        return self._vlabels == other._vlabels and self._adj == other._adj
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._vlabels),
+                     tuple(sorted((u, v) for u, v, _ in self.edges()))))
+
+    def __repr__(self) -> str:
+        return f"<GraphClosure |V|={self.num_vertices} |E|={self.num_edges}>"
+
+    def copy(self) -> "GraphClosure":
+        c = GraphClosure.__new__(GraphClosure)
+        c._vlabels = list(self._vlabels)
+        c._adj = [dict(nbrs) for nbrs in self._adj]
+        c._num_edges = self._num_edges
+        return c
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _set_to_json(s: frozenset) -> list:
+        def encode(x):
+            if x is EPSILON:
+                return _EPSILON_JSON
+            if x is WILDCARD:
+                return _WILDCARD_JSON
+            return x
+
+        return sorted((encode(x) for x in s), key=repr)
+
+    @staticmethod
+    def _set_from_json(items: list) -> frozenset:
+        def decode(x):
+            if x == _EPSILON_JSON:
+                return EPSILON
+            if x == _WILDCARD_JSON:
+                return WILDCARD
+            return x
+
+        return frozenset(decode(x) for x in items)
+
+    def to_dict(self) -> dict:
+        return {
+            "vertex_label_sets": [self._set_to_json(s) for s in self._vlabels],
+            "edges": [[u, v, self._set_to_json(s)] for u, v, s in self.edges()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GraphClosure":
+        c = cls([cls._set_from_json(s) for s in data["vertex_label_sets"]])
+        for u, v, s in data["edges"]:
+            c.add_edge(u, v, cls._set_from_json(s))
+        return c
+
+
+def as_closure(g: GraphLike) -> GraphClosure:
+    """View any graph-like object as a :class:`GraphClosure`."""
+    if isinstance(g, GraphClosure):
+        return g
+    if isinstance(g, Graph):
+        return GraphClosure.from_graph(g)
+    raise GraphError(f"cannot interpret {type(g).__name__} as a closure")
+
+
+def closure_under_mapping(
+    g1: GraphLike,
+    g2: GraphLike,
+    mapping: Sequence[tuple[Optional[int], Optional[int]]],
+) -> GraphClosure:
+    """The closure of ``g1`` and ``g2`` under a mapping (Definition 8).
+
+    ``mapping`` is a sequence of pairs ``(u, v)`` where ``u`` is a vertex of
+    ``g1`` or ``None`` (dummy) and ``v`` is a vertex of ``g2`` or ``None``.
+    Every vertex of both graphs must appear exactly once, and no pair may be
+    dummy on both sides (Definition 2).
+
+    Matched vertices/edges union their label sets; unmatched ones union with
+    :data:`EPSILON`.
+    """
+    c1 = as_closure(g1)
+    c2 = as_closure(g2)
+    _validate_mapping(c1, c2, mapping)
+
+    eps = frozenset((EPSILON,))
+    result = GraphClosure.__new__(GraphClosure)
+    result._vlabels = []
+    result._adj = []
+    result._num_edges = 0
+
+    # Vertex closures, one per mapping pair; remember each pair's new id.
+    pair_id: list[int] = []
+    for u, v in mapping:
+        if u is None:
+            label = c2.label_set(v) | eps
+        elif v is None:
+            label = c1.label_set(u) | eps
+        else:
+            label = c1.label_set(u) | c2.label_set(v)
+        result._vlabels.append(label)
+        result._adj.append({})
+        pair_id.append(len(result._vlabels) - 1)
+
+    # Edge closures: for every pair of mapping pairs, union corresponding
+    # edges from each side.  Iterate each side's edge list once instead of
+    # all O(n^2) pairs.
+    id_of_u = {u: pair_id[i] for i, (u, _) in enumerate(mapping) if u is not None}
+    id_of_v = {v: pair_id[i] for i, (_, v) in enumerate(mapping) if v is not None}
+
+    edge_sets: dict[tuple[int, int], list] = {}
+    for a, b, s in c1.edges():
+        key = _ordered(id_of_u[a], id_of_u[b])
+        edge_sets[key] = [s, None]
+    for a, b, s in c2.edges():
+        key = _ordered(id_of_v[a], id_of_v[b])
+        if key in edge_sets:
+            edge_sets[key][1] = s
+        else:
+            edge_sets[key] = [None, s]
+
+    for (x, y), (s1, s2) in edge_sets.items():
+        if s1 is None:
+            label = s2 | eps
+        elif s2 is None:
+            label = s1 | eps
+        else:
+            label = s1 | s2
+        result.add_edge(x, y, label)
+    return result
+
+
+def _ordered(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def _validate_mapping(
+    c1: GraphClosure,
+    c2: GraphClosure,
+    mapping: Sequence[tuple[Optional[int], Optional[int]]],
+) -> None:
+    seen1: set[int] = set()
+    seen2: set[int] = set()
+    for u, v in mapping:
+        if u is None and v is None:
+            raise MappingError("mapping pair is dummy on both sides")
+        if u is not None:
+            if not 0 <= u < c1.num_vertices:
+                raise MappingError(f"vertex {u} out of range in first graph")
+            if u in seen1:
+                raise MappingError(f"vertex {u} mapped twice in first graph")
+            seen1.add(u)
+        if v is not None:
+            if not 0 <= v < c2.num_vertices:
+                raise MappingError(f"vertex {v} out of range in second graph")
+            if v in seen2:
+                raise MappingError(f"vertex {v} mapped twice in second graph")
+            seen2.add(v)
+    if len(seen1) != c1.num_vertices:
+        raise MappingError("mapping does not cover all vertices of first graph")
+    if len(seen2) != c2.num_vertices:
+        raise MappingError("mapping does not cover all vertices of second graph")

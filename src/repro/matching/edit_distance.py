@@ -1,0 +1,94 @@
+"""Graph distance and similarity via heuristic mappings (Definitions 3-6, 9).
+
+The optimal quantities are intractable, so — exactly as the paper does — the
+library computes a *good* mapping with one of the Section 4 methods and
+evaluates the cost/similarity under it.  Distances computed this way are
+upper bounds on the true edit distance; similarities are lower bounds on the
+true similarity.  For closures, the uniform set measures make the same
+machinery compute the minimum distance / maximum similarity of Definition 9
+under the chosen mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ConfigError
+from repro.graphs.closure import GraphLike
+from repro.graphs.mapping import GraphMapping
+from repro.matching.bipartite_mapping import (
+    bipartite_mapping,
+    bipartite_mapping_unweighted,
+)
+from repro.matching.nbm import nbm_mapping
+from repro.matching.state_search import state_search_mapping
+
+#: Mapping methods of Section 4, by name.
+MAPPING_METHODS: dict[str, Callable[..., GraphMapping]] = {
+    "nbm": nbm_mapping,
+    "bipartite": bipartite_mapping,
+    "bipartite_unweighted": bipartite_mapping_unweighted,
+    "state": state_search_mapping,
+}
+
+DEFAULT_METHOD = "nbm"
+
+
+def graph_mapping(
+    g1: GraphLike, g2: GraphLike, method: str = DEFAULT_METHOD, **kwargs
+) -> GraphMapping:
+    """Find a mapping between two graph-like objects.
+
+    ``method`` is one of ``"nbm"`` (default, Alg. 1), ``"bipartite"``
+    (weighted, Sec. 4.2), ``"bipartite_unweighted"``, or ``"state"``
+    (exact branch-and-bound, small graphs only).
+    """
+    try:
+        mapper = MAPPING_METHODS[method]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mapping method {method!r}; "
+            f"choose from {sorted(MAPPING_METHODS)}"
+        ) from None
+    return mapper(g1, g2, **kwargs)
+
+
+def graph_distance(
+    g1: GraphLike, g2: GraphLike, method: str = DEFAULT_METHOD, **kwargs
+) -> float:
+    """Approximate edit distance (Def. 4): cost under a heuristic mapping.
+
+    Always an upper bound on the true distance; equals it when
+    ``method="state"`` finds the optimum (note: the state search optimizes
+    similarity, which coincides with minimal distance under the uniform
+    measure only when matched pairs are label-compatible — use
+    :func:`repro.matching.state_search.optimal_distance` for the exact
+    value on tiny graphs).
+    """
+    return graph_mapping(g1, g2, method, **kwargs).edit_cost()
+
+
+def graph_similarity(
+    g1: GraphLike, g2: GraphLike, method: str = DEFAULT_METHOD, **kwargs
+) -> float:
+    """Approximate similarity (Def. 6): similarity under a heuristic
+    mapping.  Always a lower bound on the true similarity."""
+    return graph_mapping(g1, g2, method, **kwargs).similarity()
+
+
+def subgraph_distance(
+    g1: GraphLike, g2: GraphLike, method: str = DEFAULT_METHOD, **kwargs
+) -> float:
+    """Approximate subgraph distance (Def. 5 / Eqn. 4): how far ``g1`` is
+    from being a subgraph of ``g2``.  Zero when the mapping embeds ``g1``
+    exactly."""
+    return graph_mapping(g1, g2, method, **kwargs).subgraph_cost()
+
+
+def closure_min_distance(
+    c1: GraphLike, c2: GraphLike, method: str = DEFAULT_METHOD, **kwargs
+) -> float:
+    """Heuristic minimum distance between closures (Def. 9), used by the
+    linear split policy.  The uniform set measures already implement
+    ``d_min`` elementwise, so this is just the edit cost under a mapping."""
+    return graph_mapping(c1, c2, method, **kwargs).edit_cost()

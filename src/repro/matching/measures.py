@@ -1,0 +1,67 @@
+"""Vertex and edge distance/similarity measures (Section 2, Definition 9).
+
+All measures operate on label *sets* (the shared protocol between
+:class:`~repro.graphs.graph.Graph` and
+:class:`~repro.graphs.closure.GraphClosure`), with the dummy represented by
+``{ε}``.  The paper's uniform measure on plain graphs and the closure-aware
+``d_min`` / ``sim_max`` of Definition 9 are then the *same* function: two
+sets can agree on a value iff they intersect.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.closure import GraphClosure, GraphLike
+from repro.graphs.graph import Graph
+from repro.graphs.mapping import (
+    DUMMY_SET,
+    uniform_set_distance,
+    uniform_set_similarity,
+)
+
+__all__ = [
+    "DUMMY_SET",
+    "uniform_set_distance",
+    "uniform_set_similarity",
+    "jaccard_set_similarity",
+    "vertex_label_sets",
+    "edge_label_sets",
+    "vertex_weight_matrix",
+]
+
+
+def jaccard_set_similarity(s1: frozenset, s2: frozenset) -> float:
+    """|s1 ∩ s2| / |s1 ∪ s2| — a finer-grained similarity for closures.
+
+    Optional alternative to the uniform measure; rewards tighter closures.
+    """
+    union = len(s1 | s2)
+    if union == 0:
+        return 0.0
+    return len(s1 & s2) / union
+
+
+def vertex_label_sets(g: GraphLike) -> list[frozenset]:
+    """Label sets of all vertices, in id order."""
+    return [g.label_set(v) for v in g.vertices()]
+
+
+def edge_label_sets(g: GraphLike) -> list[frozenset]:
+    """Label sets of all edges (arbitrary but deterministic order)."""
+    if isinstance(g, GraphClosure):
+        return [s for _, _, s in g.edges()]
+    if isinstance(g, Graph):
+        return [frozenset((label,)) for _, _, label in g.edges()]
+    raise TypeError(f"cannot extract edges of {type(g).__name__}")
+
+
+def vertex_weight_matrix(
+    g1: GraphLike,
+    g2: GraphLike,
+    similarity=uniform_set_similarity,
+) -> list[list[float]]:
+    """|V1| x |V2| matrix of pairwise vertex similarities."""
+    sets2 = vertex_label_sets(g2)
+    return [
+        [similarity(s1, s2) for s2 in sets2]
+        for s1 in vertex_label_sets(g1)
+    ]

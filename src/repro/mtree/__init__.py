@@ -1,0 +1,16 @@
+"""M-tree baseline: metric-space indexing with database-graph routers.
+
+The approach the paper contrasts C-tree with (Berretti et al. [1], Lee et
+al. [3] via Ciaccia et al.'s M-tree [13]).
+"""
+
+from repro.mtree.node import MTreeEntry, MTreeNode
+from repro.mtree.tree import MTree, MTreeStats, build_mtree
+
+__all__ = [
+    "MTree",
+    "MTreeEntry",
+    "MTreeNode",
+    "MTreeStats",
+    "build_mtree",
+]

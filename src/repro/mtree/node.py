@@ -1,0 +1,69 @@
+"""M-tree nodes [13].
+
+An M-tree indexes objects of a metric space by *routing objects*: each
+internal entry holds a database object, a covering radius bounding the
+distance to everything in its subtree, and its distance to the parent
+routing object.  This is the structure used by the metric-space graph
+indexes the paper contrasts C-tree with (Berretti et al. [1], Lee et
+al. [3]) — where the summary of a subtree is a *database graph*, not a
+generalized graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class MTreeEntry:
+    """One entry of an M-tree node.
+
+    For leaf entries ``subtree`` is ``None`` and ``graph_id`` identifies the
+    database object; for routing entries ``subtree`` is the child node and
+    ``radius`` covers every object below.
+    """
+
+    graph: Graph
+    graph_id: Optional[int] = None
+    subtree: Optional["MTreeNode"] = None
+    #: covering radius (0 for leaf entries)
+    radius: float = 0.0
+    #: distance to the parent routing object (root entries: 0)
+    parent_distance: float = 0.0
+
+    @property
+    def is_routing(self) -> bool:
+        return self.subtree is not None
+
+    def __repr__(self) -> str:
+        kind = "routing" if self.is_routing else f"leaf #{self.graph_id}"
+        return f"<MTreeEntry {kind} r={self.radius:.1f}>"
+
+
+@dataclass
+class MTreeNode:
+    """A node holding entries; leaves hold objects, internals hold routers."""
+
+    is_leaf: bool
+    entries: list[MTreeEntry] = field(default_factory=list)
+    parent_entry: Optional[MTreeEntry] = None
+
+    @property
+    def fanout(self) -> int:
+        return len(self.entries)
+
+    def iter_graph_ids(self):
+        if self.is_leaf:
+            for entry in self.entries:
+                yield entry.graph_id
+        else:
+            for entry in self.entries:
+                assert entry.subtree is not None
+                yield from entry.subtree.iter_graph_ids()
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "node"
+        return f"<MTreeNode {kind} fanout={self.fanout}>"

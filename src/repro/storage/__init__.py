@@ -1,0 +1,13 @@
+"""Disk storage substrate: page file, LRU buffer pool, record store."""
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, NO_PAGE, PageFile
+from repro.storage.recordstore import RecordStore
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "NO_PAGE",
+    "PageFile",
+    "RecordStore",
+]

@@ -1,0 +1,117 @@
+"""An LRU buffer pool over a :class:`~repro.storage.pagefile.PageFile`.
+
+Caches a bounded number of pages in memory with write-back on eviction.
+The hit/miss counters are what the disk-backed C-tree benchmarks report:
+query-time page faults as a function of cache capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.exceptions import PersistenceError
+from repro.storage.pagefile import PageFile
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache with write-back.
+
+    Parameters
+    ----------
+    pagefile:
+        The backing store.
+    capacity:
+        Maximum number of cached pages (>= 1).
+    """
+
+    def __init__(self, pagefile: PageFile, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise PersistenceError(f"capacity must be >= 1, got {capacity}")
+        self._file = pagefile
+        self.capacity = capacity
+        #: page_id -> (data, dirty); ordered oldest-first
+        self._pages: OrderedDict[int, tuple[bytes, bool]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pagefile(self) -> PageFile:
+        return self._file
+
+    def get(self, page_id: int) -> bytes:
+        """Read a page through the cache."""
+        cached = self._pages.get(page_id)
+        if cached is not None:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return cached[0]
+        self.misses += 1
+        data = self._file.read_page(page_id)
+        self._insert(page_id, data, dirty=False)
+        return data
+
+    def put(self, page_id: int, data: bytes) -> None:
+        """Write a page through the cache (flushed on eviction/close)."""
+        if len(data) > self._file.page_size:
+            raise PersistenceError(
+                f"page data of {len(data)} bytes exceeds page size "
+                f"{self._file.page_size}"
+            )
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+        self._pages[page_id] = (data, True)
+        self._shrink()
+
+    def allocate(self) -> int:
+        """Allocate a fresh page in the backing file."""
+        return self._file.allocate()
+
+    def free(self, page_id: int) -> None:
+        """Drop a page from cache and return it to the file's free list."""
+        self._pages.pop(page_id, None)
+        self._file.free(page_id)
+
+    # ------------------------------------------------------------------
+    def _insert(self, page_id: int, data: bytes, dirty: bool) -> None:
+        self._pages[page_id] = (data, dirty)
+        self._pages.move_to_end(page_id)
+        self._shrink()
+
+    def _shrink(self) -> None:
+        while len(self._pages) > self.capacity:
+            victim_id, (data, dirty) = self._pages.popitem(last=False)
+            self.evictions += 1
+            if dirty:
+                self._file.write_page(victim_id, data)
+                self.writebacks += 1
+
+    def flush(self) -> None:
+        """Write every dirty page back and sync the file."""
+        for page_id, (data, dirty) in self._pages.items():
+            if dirty:
+                self._file.write_page(page_id, data)
+                self.writebacks += 1
+                self._pages[page_id] = (data, False)
+        self._file.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self._file.close()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<BufferPool {len(self._pages)}/{self.capacity} pages, "
+                f"hits={self.hits} misses={self.misses}>")

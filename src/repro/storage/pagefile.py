@@ -1,0 +1,190 @@
+"""A fixed-size page file.
+
+The bottom layer of the disk-backed C-tree (the paper's advantage list:
+"dynamic insertion/deletion and disk-based access of graphs can be done
+efficiently").  A :class:`PageFile` exposes numbered fixed-size pages in a
+single OS file, with a free list for recycling.
+
+File layout::
+
+    page 0:       header — magic, page size, page count, free-list head,
+                  user-root slot (a record/page id for the client's root)
+    page 1..N-1:  data pages; a freed page stores the next free page id in
+                  its first 8 bytes
+
+All multi-byte integers are little-endian unsigned 64-bit.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import PersistenceError
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"CTPF0001"
+_HEADER = struct.Struct("<8sQQQQ")  # magic, page_size, page_count, free_head, user_root
+_U64 = struct.Struct("<Q")
+
+#: Sentinel "no page" id (page 0 is the header, never a data page).
+NO_PAGE = 0
+
+DEFAULT_PAGE_SIZE = 4096
+_MIN_PAGE_SIZE = 64
+
+
+class PageFile:
+    """Numbered fixed-size pages in one file.
+
+    Use :meth:`create` for a new file and :meth:`open` for an existing one;
+    both return an object usable as a context manager.
+    """
+
+    def __init__(self, fh, page_size: int, page_count: int, free_head: int,
+                 user_root: int = NO_PAGE):
+        self._fh = fh
+        self.page_size = page_size
+        self._page_count = page_count
+        self._free_head = free_head
+        self._user_root = user_root
+        self._closed = False
+        #: physical I/O counters
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: PathLike, page_size: int = DEFAULT_PAGE_SIZE) -> "PageFile":
+        """Create (truncating) a page file."""
+        if page_size < _MIN_PAGE_SIZE:
+            raise PersistenceError(
+                f"page size must be >= {_MIN_PAGE_SIZE}, got {page_size}"
+            )
+        fh = open(path, "w+b")
+        pf = cls(fh, page_size, page_count=1, free_head=NO_PAGE)
+        pf._write_header()
+        return pf
+
+    @classmethod
+    def open(cls, path: PathLike) -> "PageFile":
+        """Open an existing page file, validating its header."""
+        fh = open(path, "r+b")
+        header = fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            fh.close()
+            raise PersistenceError(f"{path}: not a page file (short header)")
+        magic, page_size, page_count, free_head, user_root = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            fh.close()
+            raise PersistenceError(f"{path}: bad magic {magic!r}")
+        return cls(fh, page_size, page_count, free_head, user_root)
+
+    def _write_header(self) -> None:
+        self._fh.seek(0)
+        header = _HEADER.pack(
+            _MAGIC, self.page_size, self._page_count, self._free_head,
+            self._user_root,
+        )
+        self._fh.write(header.ljust(min(self.page_size, 256), b"\0"))
+
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Total pages including the header page."""
+        return self._page_count
+
+    @property
+    def user_root(self) -> int:
+        """A client-defined root pointer persisted in the header (the
+        disk-backed C-tree stores its metadata record id here)."""
+        return self._user_root
+
+    @user_root.setter
+    def user_root(self, value: int) -> None:
+        self._check_open()
+        self._user_root = value
+        self._write_header()
+
+    def allocate(self) -> int:
+        """Allocate a page (recycling the free list first); returns its id."""
+        self._check_open()
+        if self._free_head != NO_PAGE:
+            page_id = self._free_head
+            data = self.read_page(page_id)
+            (self._free_head,) = _U64.unpack_from(data, 0)
+        else:
+            page_id = self._page_count
+            self._page_count += 1
+            self.write_page(page_id, b"")
+        self._write_header()
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the free list."""
+        self._check_page(page_id)
+        self.write_page(page_id, _U64.pack(self._free_head))
+        self._free_head = page_id
+        self._write_header()
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page (always ``page_size`` bytes)."""
+        self._check_page(page_id)
+        self._fh.seek(page_id * self.page_size)
+        data = self._fh.read(self.page_size)
+        self.reads += 1
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\0")
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page (padded/validated to ``page_size``)."""
+        self._check_open()
+        if page_id < 1:
+            raise PersistenceError(f"cannot write reserved page {page_id}")
+        if len(data) > self.page_size:
+            raise PersistenceError(
+                f"page data of {len(data)} bytes exceeds page size "
+                f"{self.page_size}"
+            )
+        self._fh.seek(page_id * self.page_size)
+        self._fh.write(data.ljust(self.page_size, b"\0"))
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._check_open()
+        self._write_header()
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._closed:
+            self._write_header()
+            self._fh.flush()
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PersistenceError("page file is closed")
+
+    def _check_page(self, page_id: int) -> None:
+        self._check_open()
+        if not 1 <= page_id < self._page_count:
+            raise PersistenceError(
+                f"page {page_id} out of range [1, {self._page_count})"
+            )
+
+    def __repr__(self) -> str:
+        return (f"<PageFile pages={self._page_count} "
+                f"page_size={self.page_size}>")

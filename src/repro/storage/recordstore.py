@@ -1,0 +1,88 @@
+"""Variable-length records over the page file + buffer pool.
+
+Each record is a byte string stored as a chain of pages: every page holds
+``<next_page: u64><length: u16><payload>``.  Records are addressed by their
+first page id.  This is deliberately the simplest record manager that
+supports the disk-backed C-tree: one node or one graph per record, read on
+demand through the LRU pool.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.exceptions import PersistenceError
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagefile import NO_PAGE
+
+_CHAIN_HEADER = struct.Struct("<QH")  # next page id, payload length
+
+
+class RecordStore:
+    """Store/load/delete byte-string records through a buffer pool."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self._pool = pool
+        self._payload_capacity = pool.pagefile.page_size - _CHAIN_HEADER.size
+        if self._payload_capacity < 1:
+            raise PersistenceError("page size too small for record chains")
+        if self._payload_capacity > 0xFFFF:
+            raise PersistenceError(
+                "page size too large for record chains (length field is u16)"
+            )
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def store(self, data: bytes) -> int:
+        """Write a record; returns its id (the head page id)."""
+        chunks = self._split(data)
+        page_ids = [self._pool.allocate() for _ in chunks]
+        for index, chunk in enumerate(chunks):
+            next_page = page_ids[index + 1] if index + 1 < len(page_ids) else NO_PAGE
+            header = _CHAIN_HEADER.pack(next_page, len(chunk))
+            self._pool.put(page_ids[index], header + chunk)
+        return page_ids[0]
+
+    def load(self, record_id: int) -> bytes:
+        """Read a record by id."""
+        parts: list[bytes] = []
+        page_id = record_id
+        seen: set[int] = set()
+        while page_id != NO_PAGE:
+            if page_id in seen:
+                raise PersistenceError(
+                    f"corrupt record chain: page {page_id} repeats"
+                )
+            seen.add(page_id)
+            page = self._pool.get(page_id)
+            next_page, length = _CHAIN_HEADER.unpack_from(page, 0)
+            if length > self._payload_capacity:
+                raise PersistenceError(
+                    f"corrupt record chain: length {length} exceeds capacity"
+                )
+            parts.append(page[_CHAIN_HEADER.size:_CHAIN_HEADER.size + length])
+            page_id = next_page
+        return b"".join(parts)
+
+    def delete(self, record_id: int) -> None:
+        """Free every page of a record."""
+        page_id = record_id
+        while page_id != NO_PAGE:
+            page = self._pool.get(page_id)
+            next_page, _ = _CHAIN_HEADER.unpack_from(page, 0)
+            self._pool.free(page_id)
+            page_id = next_page
+
+    # ------------------------------------------------------------------
+    def _split(self, data: bytes) -> list[bytes]:
+        if not data:
+            return [b""]
+        capacity = self._payload_capacity
+        return [data[i:i + capacity] for i in range(0, len(data), capacity)]
+
+    def store_many(self, records: Iterable[bytes]) -> list[int]:
+        return [self.store(r) for r in records]

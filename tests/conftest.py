@@ -1,0 +1,77 @@
+"""Shared fixtures and graph builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.datasets.chemical import ChemicalConfig, generate_chemical_database
+
+
+def triangle(labels=("A", "B", "C")) -> Graph:
+    """A labeled triangle."""
+    return Graph(list(labels), [(0, 1), (1, 2), (0, 2)])
+
+
+def path_graph(labels) -> Graph:
+    """A labeled path."""
+    labels = list(labels)
+    return Graph(labels, [(i, i + 1) for i in range(len(labels) - 1)])
+
+
+def star(center_label, leaf_labels) -> Graph:
+    """A star: vertex 0 is the center."""
+    labels = [center_label] + list(leaf_labels)
+    return Graph(labels, [(0, i) for i in range(1, len(labels))])
+
+
+def random_labeled_graph(
+    rng: random.Random,
+    num_vertices: int,
+    num_labels: int = 4,
+    edge_probability: float = 0.3,
+    connected: bool = True,
+) -> Graph:
+    """A random labeled graph, optionally forced connected via a spanning
+    tree backbone."""
+    g = Graph([f"L{rng.randrange(num_labels)}" for _ in range(num_vertices)])
+    if connected:
+        for v in range(1, num_vertices):
+            g.add_edge(rng.randrange(v), v)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if not g.has_edge(u, v) and rng.random() < edge_probability:
+                g.add_edge(u, v)
+    return g
+
+
+# Paper Figure 1: the five-graph sample database.
+def fig1_graphs() -> dict[str, Graph]:
+    """Our best reconstruction of the paper's Fig. 1 sample graphs.
+
+    G1: A-B, A-C, B-C-ish structures; the figure is partially ambiguous in
+    the transcript, so these graphs are chosen to be *consistent with the
+    text's stated values* where tests rely on them.
+    """
+    return {
+        # G1: A at top, children B and C, B-C edge, C-D edge
+        "G1": Graph(["A", "B", "C", "D"], [(0, 1), (0, 2), (1, 2), (2, 3)]),
+        # G2: A with children B and D, B-D edge, D-C edge
+        "G2": Graph(["A", "B", "D", "C"], [(0, 1), (0, 2), (1, 2), (2, 3)]),
+        "G3": Graph(["A", "B", "D"], [(0, 1), (0, 2), (1, 2)]),
+    }
+
+
+@pytest.fixture(scope="session")
+def chem_db_small() -> list[Graph]:
+    """A small deterministic chemical-like database shared across tests."""
+    return generate_chemical_database(
+        60, seed=42, config=ChemicalConfig(mean_vertices=15, large_fraction=0.0)
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

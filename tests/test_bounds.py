@@ -1,0 +1,100 @@
+"""Unit tests for repro.matching.bounds (Eqn. 7 and derived bounds)."""
+
+import random
+
+import pytest
+
+from repro.graphs.closure import GraphClosure, closure_under_mapping
+from repro.graphs.graph import Graph
+from repro.matching.bounds import (
+    distance_lower_bound,
+    norm,
+    set_similarity_upper_bound,
+    sim_upper_bound,
+)
+from repro.matching.nbm import nbm_mapping
+from repro.matching.state_search import optimal_distance, optimal_similarity
+
+from conftest import path_graph, random_labeled_graph, triangle
+
+
+class TestSetSimilarityUpperBound:
+    def test_singleton_multiset_intersection(self):
+        s1 = [frozenset("A"), frozenset("A"), frozenset("B")]
+        s2 = [frozenset("A"), frozenset("C")]
+        assert set_similarity_upper_bound(s1, s2) == 1.0
+
+    def test_empty_sides(self):
+        assert set_similarity_upper_bound([], [frozenset("A")]) == 0.0
+
+    def test_closure_sets_use_matching(self):
+        s1 = [frozenset({"A", "B"}), frozenset({"B"})]
+        s2 = [frozenset({"B"}), frozenset({"A"})]
+        # {A,B} can take A, {B} takes B: perfect matching of size 2.
+        assert set_similarity_upper_bound(s1, s2) == 2.0
+
+    def test_matching_respects_capacity(self):
+        s1 = [frozenset("A"), frozenset("A")]
+        s2 = [frozenset("A")]
+        assert set_similarity_upper_bound(s1, s2) == 1.0
+
+
+class TestSimUpperBound:
+    def test_identical_graphs_reach_norm(self):
+        g = triangle()
+        assert sim_upper_bound(g, g) == norm(g) == 6.0
+
+    def test_dominates_optimal_similarity_small(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            g1 = random_labeled_graph(rng, rng.randrange(2, 6))
+            g2 = random_labeled_graph(rng, rng.randrange(2, 6))
+            assert sim_upper_bound(g1, g2) >= optimal_similarity(g1, g2) - 1e-9
+
+    def test_dominates_nbm_similarity(self):
+        rng = random.Random(4)
+        for _ in range(10):
+            g1 = random_labeled_graph(rng, rng.randrange(2, 10))
+            g2 = random_labeled_graph(rng, rng.randrange(2, 10))
+            assert sim_upper_bound(g1, g2) >= nbm_mapping(g1, g2).similarity() - 1e-9
+
+    def test_closure_bound_dominates_members(self):
+        g1 = path_graph(["A", "B", "C"])
+        g2 = path_graph(["A", "B", "D"])
+        c = closure_under_mapping(g1, g2, [(i, i) for i in range(3)])
+        q = path_graph(["A", "B"])
+        assert sim_upper_bound(q, c) >= sim_upper_bound(q, g1) - 1e-9
+        assert sim_upper_bound(q, c) >= sim_upper_bound(q, g2) - 1e-9
+
+    def test_custom_measure_uses_hungarian(self):
+        def half(s1, s2):
+            return 0.5 if s1 & s2 else 0.0
+
+        g = triangle()
+        assert sim_upper_bound(g, g, vertex_similarity=half,
+                               edge_similarity=half) == pytest.approx(3.0)
+
+
+class TestNorm:
+    def test_norm_counts_vertices_and_edges(self):
+        assert norm(triangle()) == 6.0
+        assert norm(Graph()) == 0.0
+        assert norm(GraphClosure([{"A"}])) == 1.0
+
+
+class TestDistanceLowerBound:
+    def test_identical_graphs_zero(self):
+        assert distance_lower_bound(triangle(), triangle()) == 0.0
+
+    def test_bounded_by_optimal_distance(self):
+        rng = random.Random(5)
+        for _ in range(12):
+            g1 = random_labeled_graph(rng, rng.randrange(1, 6))
+            g2 = random_labeled_graph(rng, rng.randrange(1, 6))
+            assert distance_lower_bound(g1, g2) <= optimal_distance(g1, g2) + 1e-9
+
+    def test_disjoint_labels(self):
+        g1 = Graph(["A", "A"], [(0, 1)])
+        g2 = Graph(["B", "B"], [(0, 1)])
+        # Vertices can't match (2) but the edges can (labels both None).
+        assert distance_lower_bound(g1, g2) == 2.0

@@ -1,0 +1,149 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import load_graph_database
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A generated database and both index formats, via the CLI itself."""
+    root = tmp_path_factory.mktemp("cli")
+    db = root / "db.jsonl"
+    tree = root / "tree.json"
+    disk = root / "tree.ctp"
+    assert main(["generate", "chemical", "-n", "25", "-o", str(db),
+                 "--seed", "3"]) == 0
+    assert main(["build", "-i", str(db), "-o", str(tree),
+                 "--min-fanout", "3"]) == 0
+    assert main(["build", "-i", str(db), "-o", str(disk),
+                 "--min-fanout", "3"]) == 0
+    return root, db, tree, disk
+
+
+class TestGenerate:
+    def test_chemical(self, tmp_path, capsys):
+        out = tmp_path / "chem.jsonl"
+        assert main(["generate", "chemical", "-n", "10", "-o", str(out)]) == 0
+        assert len(load_graph_database(out)) == 10
+        assert "wrote 10 graphs" in capsys.readouterr().out
+
+    def test_synthetic(self, tmp_path):
+        out = tmp_path / "syn.jsonl"
+        assert main([
+            "generate", "synthetic", "-n", "5", "-o", str(out),
+            "--seeds", "5", "--graph-size", "15", "--labels", "4",
+        ]) == 0
+        graphs = load_graph_database(out)
+        assert len(graphs) == 5
+
+    def test_deterministic_seed(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["generate", "chemical", "-n", "5", "-o", str(a), "--seed", "9"])
+        main(["generate", "chemical", "-n", "5", "-o", str(b), "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestBuildAndInfo:
+    def test_build_reports(self, workspace, capsys):
+        root, db, _, _ = workspace
+        out = root / "rebuild.json"
+        assert main(["build", "-i", str(db), "-o", str(out),
+                     "--min-fanout", "3"]) == 0
+        assert "built C-tree over 25 graphs" in capsys.readouterr().out
+
+    def test_info_database(self, workspace, capsys):
+        _, db, _, _ = workspace
+        assert main(["info", "-i", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "25 graphs" in out
+        assert "distinct vertex labels" in out
+
+    def test_info_snapshot(self, workspace, capsys):
+        _, _, tree, _ = workspace
+        assert main(["info", "-i", str(tree)]) == 0
+        assert "C-tree snapshot" in capsys.readouterr().out
+
+    def test_info_disk_index(self, workspace, capsys):
+        _, _, _, disk = workspace
+        assert main(["info", "-i", str(disk)]) == 0
+        assert "disk C-tree index" in capsys.readouterr().out
+
+    def test_missing_input(self, capsys):
+        assert main(["info", "-i", "/nonexistent.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    QUERY = json.dumps({"labels": ["C", "C"], "edges": [[0, 1]]})
+
+    def test_query_snapshot(self, workspace, capsys):
+        _, _, tree, _ = workspace
+        assert main(["query", "-t", str(tree), "-q", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "answers:" in out
+        assert "|CS|=" in out
+
+    def test_query_disk(self, workspace, capsys):
+        _, _, _, disk = workspace
+        assert main(["query", "-t", str(disk), "-q", self.QUERY,
+                     "--level", "max"]) == 0
+        assert "answers:" in capsys.readouterr().out
+
+    def test_query_snapshot_and_disk_agree(self, workspace, capsys):
+        _, _, tree, disk = workspace
+        main(["query", "-t", str(tree), "-q", self.QUERY])
+        out1 = capsys.readouterr().out.splitlines()[0]
+        main(["query", "-t", str(disk), "-q", self.QUERY])
+        out2 = capsys.readouterr().out.splitlines()[0]
+        assert out1 == out2
+
+    def test_query_from_file(self, workspace, tmp_path, capsys):
+        _, _, tree, _ = workspace
+        qfile = tmp_path / "q.json"
+        qfile.write_text(self.QUERY)
+        assert main(["query", "-t", str(tree), "-q", f"@{qfile}"]) == 0
+        assert "answers:" in capsys.readouterr().out
+
+    def test_no_verify(self, workspace, capsys):
+        _, _, tree, _ = workspace
+        assert main(["query", "-t", str(tree), "-q", self.QUERY,
+                     "--no-verify"]) == 0
+        assert "candidates:" in capsys.readouterr().out
+
+    def test_malformed_query(self, workspace):
+        _, _, tree, _ = workspace
+        with pytest.raises(SystemExit):
+            main(["query", "-t", str(tree), "-q", "{broken"])
+
+
+class TestSimilarityCommands:
+    QUERY = json.dumps({"labels": ["C", "O"], "edges": [[0, 1]]})
+
+    def test_knn(self, workspace, capsys):
+        _, _, tree, _ = workspace
+        assert main(["knn", "-t", str(tree), "-q", self.QUERY, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("sim=") == 3
+        assert "accessed" in out
+
+    def test_knn_on_disk_index(self, workspace, capsys):
+        _, _, tree, disk = workspace
+        main(["knn", "-t", str(tree), "-q", self.QUERY, "-k", "3"])
+        snapshot_out = capsys.readouterr().out
+        assert main(["knn", "-t", str(disk), "-q", self.QUERY, "-k", "3"]) == 0
+        disk_out = capsys.readouterr().out
+        assert disk_out.count("sim=") == 3
+        # Same top similarities from both index formats.
+        sims = lambda text: [line.split("sim=")[1] for line in
+                             text.splitlines() if "sim=" in line]
+        assert sims(disk_out) == sims(snapshot_out)
+
+    def test_range(self, workspace, capsys):
+        _, _, tree, _ = workspace
+        assert main(["range", "-t", str(tree), "-q", self.QUERY,
+                     "-r", "100"]) == 0
+        assert "within distance" in capsys.readouterr().out

@@ -1,0 +1,176 @@
+"""Unit tests for repro.graphs.closure."""
+
+import pytest
+
+from repro.exceptions import GraphError, MappingError
+from repro.graphs.closure import (
+    EPSILON,
+    GraphClosure,
+    as_closure,
+    closure_under_mapping,
+)
+from repro.graphs.graph import Graph
+
+from conftest import path_graph, triangle
+
+
+class TestEpsilon:
+    def test_singleton(self):
+        from repro.graphs.closure import _Epsilon
+
+        assert _Epsilon() is EPSILON
+
+    def test_repr(self):
+        assert repr(EPSILON) == "ε"
+
+    def test_pickle_preserves_identity(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(EPSILON)) is EPSILON
+
+
+class TestConstruction:
+    def test_from_graph_singleton_sets(self):
+        c = GraphClosure.from_graph(triangle())
+        assert c.num_vertices == 3
+        assert c.num_edges == 3
+        assert c.label_set(0) == frozenset(["A"])
+        assert c.edge_label_set(0, 1) == frozenset([None])
+
+    def test_empty_label_set_rejected(self):
+        with pytest.raises(GraphError):
+            GraphClosure([set()])
+        c = GraphClosure([{"A"}, {"B"}])
+        with pytest.raises(GraphError):
+            c.add_edge(0, 1, set())
+
+    def test_duplicate_edge_rejected(self):
+        c = GraphClosure([{"A"}, {"B"}])
+        c.add_edge(0, 1, {"x"})
+        with pytest.raises(GraphError):
+            c.add_edge(1, 0, {"x"})
+
+    def test_as_closure_passthrough(self):
+        c = GraphClosure.from_graph(triangle())
+        assert as_closure(c) is c
+        assert isinstance(as_closure(triangle()), GraphClosure)
+
+    def test_as_closure_rejects_other_types(self):
+        with pytest.raises(GraphError):
+            as_closure("not a graph")
+
+
+class TestClosureUnderMapping:
+    def test_identical_graphs_full_mapping(self):
+        g = triangle()
+        c = closure_under_mapping(g, g, [(0, 0), (1, 1), (2, 2)])
+        assert c.num_vertices == 3
+        assert c.num_edges == 3
+        # No dummies anywhere: perfect overlap.
+        assert all(not c.vertex_is_optional(v) for v in c.vertices())
+        assert c.min_num_vertices() == 3
+        assert c.min_num_edges() == 3
+
+    def test_label_union_on_mismatch(self):
+        g1 = Graph(["A", "B"], [(0, 1)])
+        g2 = Graph(["A", "C"], [(0, 1)])
+        c = closure_under_mapping(g1, g2, [(0, 0), (1, 1)])
+        assert c.label_set(1) == frozenset(["B", "C"])
+
+    def test_dummy_vertex_gets_epsilon(self):
+        g1 = Graph(["A", "B"], [(0, 1)])
+        g2 = Graph(["A"])
+        c = closure_under_mapping(g1, g2, [(0, 0), (1, None)])
+        assert c.label_set(1) == frozenset(["B", EPSILON])
+        assert c.vertex_is_optional(1)
+        assert c.min_num_vertices() == 1
+
+    def test_edge_present_on_one_side_gets_epsilon(self):
+        g1 = Graph(["A", "B"], [(0, 1)])
+        g2 = Graph(["A", "B"])
+        c = closure_under_mapping(g1, g2, [(0, 0), (1, 1)])
+        assert c.edge_label_set(0, 1) == frozenset([None, EPSILON])
+        assert c.edge_is_optional(0, 1)
+        assert c.min_num_edges() == 0
+
+    def test_paper_figure2_c1(self):
+        """closure(G1, G2) from Fig. 2: mismatched C/D leaves produce a
+        {C, D} vertex closure and dangling dummy edges."""
+        g1 = Graph(["A", "B", "C", "D"], [(0, 1), (0, 2), (1, 3)])
+        g2 = Graph(["A", "B", "D", "C"], [(0, 1), (0, 2), (1, 3)])
+        c = closure_under_mapping(
+            g1, g2, [(0, 0), (1, 1), (2, 2), (3, 3)]
+        )
+        assert c.label_set(2) == frozenset(["C", "D"])
+        assert c.label_set(3) == frozenset(["D", "C"])
+        assert c.num_edges == 3
+
+    def test_mapping_must_cover_both_graphs(self):
+        g1 = Graph(["A", "B"])
+        g2 = Graph(["A"])
+        with pytest.raises(MappingError):
+            closure_under_mapping(g1, g2, [(0, 0)])
+
+    def test_double_dummy_pair_rejected(self):
+        g1 = Graph(["A"])
+        g2 = Graph(["A"])
+        with pytest.raises(MappingError):
+            closure_under_mapping(g1, g2, [(0, 0), (None, None)])
+
+    def test_duplicate_vertex_rejected(self):
+        g1 = Graph(["A", "B"])
+        g2 = Graph(["A", "B"])
+        with pytest.raises(MappingError):
+            closure_under_mapping(g1, g2, [(0, 0), (0, 1), (1, None)])
+
+    def test_closure_of_closures(self):
+        c1 = GraphClosure([{"A"}, {"B", "C"}])
+        c1.add_edge(0, 1, {None})
+        c2 = GraphClosure([{"A"}, {"D"}])
+        c2.add_edge(0, 1, {None})
+        c = closure_under_mapping(c1, c2, [(0, 0), (1, 1)])
+        assert c.label_set(1) == frozenset(["B", "C", "D"])
+
+
+class TestVolume:
+    def test_singleton_closure_has_zero_log_volume(self):
+        assert GraphClosure.from_graph(triangle()).log_volume() == 0.0
+
+    def test_log_volume_grows_with_label_sets(self):
+        g1 = Graph(["A", "B"], [(0, 1)])
+        g2 = Graph(["A", "C"], [(0, 1)])
+        c = closure_under_mapping(g1, g2, [(0, 0), (1, 1)])
+        assert c.log_volume() > 0.0
+
+    def test_log_volume_monotone_in_growth(self):
+        g1 = path_graph(["A", "B", "C"])
+        g2 = path_graph(["A", "B", "D"])
+        small = closure_under_mapping(g1, g1, [(i, i) for i in range(3)])
+        big = closure_under_mapping(g1, g2, [(i, i) for i in range(3)])
+        assert big.log_volume() > small.log_volume()
+
+
+class TestCopyEqualitySerialization:
+    def test_copy_independent(self):
+        c = GraphClosure.from_graph(triangle())
+        d = c.copy()
+        d.add_vertex({"Z"})
+        assert c.num_vertices == 3
+        assert d.num_vertices == 4
+
+    def test_equality(self):
+        assert GraphClosure.from_graph(triangle()) == GraphClosure.from_graph(
+            triangle()
+        )
+
+    def test_roundtrip_with_epsilon(self):
+        g1 = Graph(["A", "B"], [(0, 1)])
+        g2 = Graph(["A"])
+        c = closure_under_mapping(g1, g2, [(0, 0), (1, None)])
+        d = GraphClosure.from_dict(c.to_dict())
+        assert d == c
+        assert d.vertex_is_optional(1)
+
+    def test_roundtrip_plain(self):
+        c = GraphClosure.from_graph(triangle())
+        assert GraphClosure.from_dict(c.to_dict()) == c

@@ -1,0 +1,90 @@
+"""Unit tests for repro.ctree.node."""
+
+from repro.graphs.closure import GraphClosure
+from repro.graphs.histogram import LabelHistogram
+from repro.matching.nbm import nbm_mapping
+from repro.ctree.node import CTreeNode, LeafEntry
+
+from conftest import path_graph, triangle
+
+
+class TestLeafEntry:
+    def test_fields(self):
+        e = LeafEntry(7, triangle())
+        assert e.graph_id == 7
+        assert e.graph.num_vertices == 3
+        assert "#7" in repr(e)
+
+
+class TestNodeStructure:
+    def test_add_remove_child_parent_pointers(self):
+        parent = CTreeNode(is_leaf=False)
+        child = CTreeNode(is_leaf=True)
+        parent.add_child(child)
+        assert child.parent is parent
+        assert parent.fanout == 1
+        parent.remove_child(child)
+        assert child.parent is None
+        assert parent.fanout == 0
+
+    def test_height(self):
+        leaf = CTreeNode(is_leaf=True)
+        assert leaf.height() == 0
+        mid = CTreeNode(is_leaf=False)
+        mid.add_child(leaf)
+        root = CTreeNode(is_leaf=False)
+        root.add_child(mid)
+        assert root.height() == 2
+
+    def test_child_accessors(self):
+        entry = LeafEntry(0, triangle())
+        closure = CTreeNode.child_closure(entry)
+        assert isinstance(closure, GraphClosure)
+        assert CTreeNode.child_graph_like(entry) is entry.graph
+        hist = CTreeNode.child_histogram(entry)
+        assert hist == LabelHistogram.of(entry.graph)
+
+    def test_iter_leaf_entries(self):
+        leaf1 = CTreeNode(is_leaf=True)
+        leaf1.add_child(LeafEntry(0, triangle()))
+        leaf2 = CTreeNode(is_leaf=True)
+        leaf2.add_child(LeafEntry(1, path_graph(["A", "B"])))
+        leaf2.add_child(LeafEntry(2, path_graph(["C", "D"])))
+        root = CTreeNode(is_leaf=False)
+        root.add_child(leaf1)
+        root.add_child(leaf2)
+        ids = [e.graph_id for e in root.iter_leaf_entries()]
+        assert ids == [0, 1, 2]
+        assert root.count_nodes() == 3
+
+
+class TestSummaries:
+    def test_extend_summary_first_graph(self):
+        node = CTreeNode(is_leaf=True)
+        node.extend_summary(triangle(), nbm_mapping)
+        assert node.closure is not None
+        assert node.closure.num_vertices == 3
+        assert node.histogram.dominates(LabelHistogram.of(triangle()))
+
+    def test_extend_summary_accumulates(self):
+        node = CTreeNode(is_leaf=True)
+        g1 = path_graph(["A", "B"])
+        g2 = path_graph(["A", "C"])
+        node.extend_summary(g1, nbm_mapping)
+        node.extend_summary(g2, nbm_mapping)
+        assert node.histogram.dominates(LabelHistogram.of(g1))
+        assert node.histogram.dominates(LabelHistogram.of(g2))
+
+    def test_rebuild_summary_shrinks(self):
+        node = CTreeNode(is_leaf=True)
+        g1 = path_graph(["A", "B"])
+        g2 = path_graph(["X", "Y"])
+        node.add_child(LeafEntry(0, g1))
+        node.add_child(LeafEntry(1, g2))
+        node.rebuild_summary(nbm_mapping)
+        with_both = node.histogram
+        node.remove_child(node.children[1])
+        node.rebuild_summary(nbm_mapping)
+        # After rebuilding without g2, X must no longer be counted.
+        assert with_both[(0, "X")] == 1
+        assert node.histogram[(0, "X")] == 0

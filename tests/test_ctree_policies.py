@@ -1,0 +1,117 @@
+"""Unit tests for insertion/split policies (Sections 5.2-5.3)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.graphs.graph import Graph
+from repro.matching.nbm import nbm_mapping
+from repro.ctree.node import CTreeNode, LeafEntry
+from repro.ctree.policies import (
+    INSERT_POLICIES,
+    SPLIT_POLICIES,
+    choose_child_min_overlap,
+    choose_child_min_volume,
+    choose_child_random,
+    resolve_insert_policy,
+    resolve_split_policy,
+    split_linear,
+    split_optimal,
+    split_random,
+)
+
+from conftest import path_graph
+
+
+def _node_with_children(graphs):
+    node = CTreeNode(is_leaf=True)
+    for i, g in enumerate(graphs):
+        node.add_child(LeafEntry(i, g))
+    node.rebuild_summary(nbm_mapping)
+    return node
+
+
+@pytest.fixture
+def two_cluster_node():
+    """Four children in two obvious clusters: AB-like and XY-like."""
+    return _node_with_children([
+        path_graph(["A", "B"]),
+        path_graph(["A", "B", "B"]),
+        path_graph(["X", "Y"]),
+        path_graph(["X", "Y", "Y"]),
+    ])
+
+
+class TestInsertPolicies:
+    def test_registry(self):
+        assert set(INSERT_POLICIES) == {"random", "min_volume", "min_overlap"}
+        assert resolve_insert_policy("min_volume") is choose_child_min_volume
+        with pytest.raises(ConfigError):
+            resolve_insert_policy("bogus")
+
+    def test_random_in_range(self, two_cluster_node):
+        rng = random.Random(0)
+        for _ in range(10):
+            i = choose_child_random(two_cluster_node, path_graph(["A"]), nbm_mapping, rng)
+            assert 0 <= i < 4
+
+    def test_min_volume_picks_similar_child(self, two_cluster_node):
+        rng = random.Random(0)
+        g = path_graph(["A", "B"])
+        i = choose_child_min_volume(two_cluster_node, g, nbm_mapping, rng)
+        assert i in (0, 1)  # the AB cluster
+        g = path_graph(["X", "Y"])
+        i = choose_child_min_volume(two_cluster_node, g, nbm_mapping, rng)
+        assert i in (2, 3)
+
+    def test_min_overlap_picks_similar_child(self, two_cluster_node):
+        rng = random.Random(0)
+        i = choose_child_min_overlap(
+            two_cluster_node, path_graph(["X", "Y"]), nbm_mapping, rng
+        )
+        assert i in (2, 3)
+
+
+class TestSplitPolicies:
+    def test_registry(self):
+        assert set(SPLIT_POLICIES) == {"random", "linear", "optimal"}
+        with pytest.raises(ConfigError):
+            resolve_split_policy("bogus")
+
+    def test_random_split_even(self, two_cluster_node):
+        g1, g2 = split_random(
+            two_cluster_node.children, nbm_mapping, random.Random(0), 2
+        )
+        assert sorted(g1 + g2) == [0, 1, 2, 3]
+        assert abs(len(g1) - len(g2)) <= 1
+
+    def test_linear_split_separates_clusters(self, two_cluster_node):
+        g1, g2 = split_linear(
+            two_cluster_node.children, nbm_mapping, random.Random(0), 2
+        )
+        assert sorted(g1 + g2) == [0, 1, 2, 3]
+        groups = {frozenset(g1), frozenset(g2)}
+        assert groups == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_optimal_split_separates_clusters(self, two_cluster_node):
+        g1, g2 = split_optimal(
+            two_cluster_node.children, nbm_mapping, random.Random(0), 2
+        )
+        groups = {frozenset(g1), frozenset(g2)}
+        assert groups == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_optimal_split_respects_min_fanout(self):
+        node = _node_with_children([Graph(["A"]) for _ in range(5)])
+        g1, g2 = split_optimal(node.children, nbm_mapping, random.Random(0), 2)
+        assert len(g1) >= 2 and len(g2) >= 2
+
+    def test_optimal_split_size_cap(self):
+        node = _node_with_children([Graph(["A"]) for _ in range(17)])
+        with pytest.raises(ConfigError):
+            split_optimal(node.children, nbm_mapping, random.Random(0), 2)
+
+    def test_linear_split_deterministic_per_seed(self, two_cluster_node):
+        a = split_linear(two_cluster_node.children, nbm_mapping, random.Random(5), 2)
+        b = split_linear(two_cluster_node.children, nbm_mapping, random.Random(5), 2)
+        assert a == b

@@ -1,0 +1,172 @@
+"""Unit tests for the C-tree structure (Section 5)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigError, IndexError_
+from repro.graphs.graph import Graph
+from repro.ctree.tree import CTree
+
+from conftest import path_graph, random_labeled_graph, triangle
+
+
+def make_tree(**kwargs) -> CTree:
+    kwargs.setdefault("min_fanout", 2)
+    return CTree(**kwargs)
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        tree = CTree()
+        assert tree.min_fanout == 20
+        assert tree.max_fanout == 39
+
+    def test_min_fanout_lower_bound(self):
+        with pytest.raises(ConfigError):
+            CTree(min_fanout=1)
+
+    def test_split_feasibility_enforced(self):
+        with pytest.raises(ConfigError):
+            CTree(min_fanout=5, max_fanout=6)
+
+    def test_unknown_mapping_method(self):
+        with pytest.raises(ConfigError):
+            CTree(mapping_method="bogus")
+
+    def test_unknown_policies(self):
+        with pytest.raises(ConfigError):
+            CTree(insert_policy="bogus")
+        with pytest.raises(ConfigError):
+            CTree(split_policy="bogus")
+
+
+class TestInsert:
+    def test_empty_tree(self):
+        tree = make_tree()
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_single_insert(self):
+        tree = make_tree()
+        gid = tree.insert(triangle())
+        assert gid == 0
+        assert len(tree) == 1
+        assert tree.get(0) == triangle()
+        tree.validate(deep=True)
+
+    def test_explicit_graph_id(self):
+        tree = make_tree()
+        assert tree.insert(triangle(), graph_id=42) == 42
+        assert 42 in tree
+        assert tree.insert(Graph(["A"])) == 43
+
+    def test_duplicate_id_rejected(self):
+        tree = make_tree()
+        tree.insert(triangle(), graph_id=1)
+        with pytest.raises(IndexError_):
+            tree.insert(triangle(), graph_id=1)
+
+    def test_get_missing_raises(self):
+        with pytest.raises(IndexError_):
+            make_tree().get(0)
+
+    def test_splits_keep_invariants(self, rng):
+        tree = make_tree(min_fanout=2, max_fanout=3)
+        for i in range(25):
+            tree.insert(random_labeled_graph(rng, rng.randrange(3, 8)))
+        assert tree.height() >= 2
+        tree.validate(deep=True)
+
+    @pytest.mark.parametrize("insert_policy", ["random", "min_volume", "min_overlap"])
+    def test_all_insert_policies_build_valid_trees(self, insert_policy, rng):
+        tree = make_tree(min_fanout=2, max_fanout=3, insert_policy=insert_policy)
+        for _ in range(15):
+            tree.insert(random_labeled_graph(rng, rng.randrange(2, 6)))
+        tree.validate()
+
+    @pytest.mark.parametrize("split_policy", ["random", "linear"])
+    def test_all_split_policies_build_valid_trees(self, split_policy, rng):
+        tree = make_tree(min_fanout=2, max_fanout=3, split_policy=split_policy)
+        for _ in range(15):
+            tree.insert(random_labeled_graph(rng, rng.randrange(2, 6)))
+        tree.validate()
+
+
+class TestDelete:
+    def test_delete_returns_graph(self):
+        tree = make_tree()
+        tree.insert(triangle())
+        g = tree.delete(0)
+        assert g == triangle()
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(IndexError_):
+            make_tree().delete(9)
+
+    def test_delete_shrinks_closures(self):
+        tree = make_tree()
+        tree.insert(path_graph(["A", "B"]))
+        tree.insert(path_graph(["X", "Y"]))
+        tree.delete(1)
+        assert tree.root.histogram[(0, "X")] == 0
+
+    def test_delete_with_underflow_reinserts(self, rng):
+        tree = make_tree(min_fanout=2, max_fanout=3)
+        graphs = [random_labeled_graph(rng, rng.randrange(3, 7)) for _ in range(20)]
+        for g in graphs:
+            tree.insert(g)
+        ids = list(tree.graph_ids())
+        rng.shuffle(ids)
+        for gid in ids[:12]:
+            tree.delete(gid)
+            tree.validate()
+        assert len(tree) == 8
+
+    def test_delete_everything(self, rng):
+        tree = make_tree(min_fanout=2, max_fanout=3)
+        for _ in range(12):
+            tree.insert(random_labeled_graph(rng, 4))
+        for gid in list(tree.graph_ids()):
+            tree.delete(gid)
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_interleaved_insert_delete(self, rng):
+        tree = make_tree(min_fanout=2, max_fanout=3)
+        alive = []
+        next_id = 0
+        for step in range(60):
+            if alive and rng.random() < 0.4:
+                victim = alive.pop(rng.randrange(len(alive)))
+                tree.delete(victim)
+            else:
+                tree.insert(random_labeled_graph(rng, rng.randrange(2, 6)),
+                            graph_id=next_id)
+                alive.append(next_id)
+                next_id += 1
+        tree.validate(deep=True)
+        assert sorted(tree.graph_ids()) == sorted(alive)
+
+
+class TestStructureAccessors:
+    def test_len_contains_iter(self, rng):
+        tree = make_tree()
+        for i in range(5):
+            tree.insert(random_labeled_graph(rng, 4))
+        assert len(tree) == 5
+        assert 3 in tree
+        assert 9 not in tree
+        assert sorted(gid for gid, _ in tree.graphs()) == list(range(5))
+
+    def test_repr(self):
+        tree = make_tree()
+        assert "|D|=0" in repr(tree)
+
+    def test_node_count_grows(self, rng):
+        tree = make_tree(min_fanout=2, max_fanout=3)
+        for _ in range(20):
+            tree.insert(random_labeled_graph(rng, 4))
+        assert tree.node_count() > 1

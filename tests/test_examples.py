@@ -1,0 +1,32 @@
+"""Smoke test: the quickstart example must stay runnable.
+
+The heavier examples (motif search, similarity, synthetic workload) run for
+tens of seconds and are exercised implicitly by the experiment tests; the
+quickstart is the one users copy-paste first, so it is pinned here.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "graphs containing a C-O bond" in out
+    assert "acetic acid" in out
+    assert "2 nearest neighbors of phenol" in out
+    assert "deleted ethanol" in out
+
+
+def test_all_examples_compile():
+    import py_compile
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(script), doraise=True)

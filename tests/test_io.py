@@ -1,0 +1,107 @@
+"""Unit tests for repro.graphs.io and repro.graphs.interop."""
+
+import pytest
+
+from repro.exceptions import GraphError, PersistenceError
+from repro.graphs.graph import Graph
+from repro.graphs.interop import from_networkx, to_networkx
+from repro.graphs.io import (
+    database_size_bytes,
+    graph_from_json,
+    graph_to_json,
+    load_graph_database,
+    save_graph_database,
+)
+
+from conftest import triangle
+
+
+class TestJsonRoundtrip:
+    def test_single_graph(self):
+        g = Graph(["A", "B"], [(0, 1, "x")], name="g")
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(PersistenceError):
+            graph_from_json("{not json")
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(PersistenceError):
+            graph_from_json('{"foo": 1}')
+
+
+class TestDatabaseFiles:
+    def test_roundtrip(self, tmp_path):
+        graphs = [triangle(), Graph(["X"]), Graph(["Y", "Z"], [(0, 1)])]
+        path = tmp_path / "db.jsonl"
+        count = save_graph_database(graphs, path)
+        assert count == 3
+        loaded = load_graph_database(path)
+        assert loaded == graphs
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        path.write_text(graph_to_json(triangle()) + "\n\n")
+        assert len(load_graph_database(path)) == 1
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        path.write_text(graph_to_json(triangle()) + "\nnot json\n")
+        with pytest.raises(PersistenceError, match=":2"):
+            load_graph_database(path)
+
+    def test_database_size_bytes_positive(self):
+        assert database_size_bytes([triangle()]) > 10
+
+
+class TestFormatGraph:
+    def test_renders_all_parts(self):
+        from repro.graphs.io import format_graph
+
+        g = Graph(["C", "O"], [(0, 1, "double")], name="co")
+        text = format_graph(g)
+        assert 'graph "co" |V|=2 |E|=1' in text
+        assert "v0: 'C'" in text
+        assert "0-1('double')" in text
+
+    def test_unnamed_unlabeled(self):
+        from repro.graphs.io import format_graph
+
+        text = format_graph(triangle())
+        assert text.startswith("graph |V|=3")
+        assert "e: " in text
+
+    def test_empty_graph(self):
+        from repro.graphs.io import format_graph
+
+        assert format_graph(Graph()) == "graph |V|=0 |E|=0"
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        g = Graph(["A", "B", "C"], [(0, 1, "s"), (1, 2, "d")])
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 3
+        assert nxg.nodes[0]["label"] == "A"
+        back = from_networkx(nxg)
+        assert back == g
+
+    def test_missing_label_attr_raises(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node(0)
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+    def test_arbitrary_node_ids_renumbered(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node("x", label="A")
+        nxg.add_node("y", label="B")
+        nxg.add_edge("x", "y")
+        g = from_networkx(nxg)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert {g.label(0), g.label(1)} == {"A", "B"}

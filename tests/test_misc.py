@@ -1,0 +1,125 @@
+"""Coverage for smaller API surfaces: measures, reporting helpers,
+exceptions, NBM options, mean fanout."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigError,
+    GraphError,
+    IndexError_,
+    MappingError,
+    PersistenceError,
+    ReproError,
+)
+from repro.graphs.graph import Graph
+from repro.matching.measures import (
+    jaccard_set_similarity,
+    vertex_weight_matrix,
+)
+from repro.matching.nbm import nbm_mapping
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.cost_model import mean_fanout
+from repro.ctree.tree import CTree
+
+from conftest import path_graph, random_labeled_graph, triangle
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GraphError, MappingError, IndexError_, PersistenceError, ConfigError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert IndexError_ is not IndexError
+        assert not issubclass(IndexError_, IndexError)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        s = frozenset(["A", "B"])
+        assert jaccard_set_similarity(s, s) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_set_similarity(frozenset("A"), frozenset("B")) == 0.0
+
+    def test_partial_overlap(self):
+        s1 = frozenset(["A", "B"])
+        s2 = frozenset(["B", "C", "D"])
+        assert jaccard_set_similarity(s1, s2) == pytest.approx(0.25)
+
+    def test_empty_sets(self):
+        assert jaccard_set_similarity(frozenset(), frozenset()) == 0.0
+
+
+class TestVertexWeightMatrix:
+    def test_shape_and_values(self):
+        g1 = Graph(["A", "B"])
+        g2 = Graph(["B", "A", "A"])
+        matrix = vertex_weight_matrix(g1, g2)
+        assert len(matrix) == 2
+        assert len(matrix[0]) == 3
+        assert matrix[0] == [0.0, 1.0, 1.0]
+        assert matrix[1] == [1.0, 0.0, 0.0]
+
+    def test_custom_measure(self):
+        g = triangle()
+        matrix = vertex_weight_matrix(g, g, similarity=jaccard_set_similarity)
+        assert matrix[0][0] == 1.0
+
+
+class TestNbmOptions:
+    def test_neighborhood_init_zero_still_valid(self):
+        g = path_graph(["C", "C", "C"])
+        mapping = nbm_mapping(g, g, neighborhood_init=0.0)
+        assert len(mapping.matched_pairs()) == 3
+
+    def test_neighbor_bonus_zero_degenerates_gracefully(self, rng):
+        g1 = random_labeled_graph(rng, 8)
+        g2 = random_labeled_graph(rng, 8)
+        mapping = nbm_mapping(g1, g2, neighbor_bonus=0.0)
+        assert mapping.pairs  # still a full mapping
+
+    def test_neighborhood_init_improves_sparse_labels(self, rng):
+        # On an all-same-label graph the neighborhood term should only help.
+        from repro.graphs.operations import vertex_permuted
+
+        worse = better = 0
+        for _ in range(8):
+            g = random_labeled_graph(rng, 10, num_labels=1)
+            h = vertex_permuted(g, rng)
+            plain = nbm_mapping(g, h, neighborhood_init=0.0).edit_cost()
+            aware = nbm_mapping(g, h).edit_cost()
+            if aware < plain:
+                better += 1
+            elif aware > plain:
+                worse += 1
+        assert better >= worse
+
+
+class TestMeanFanout:
+    def test_empty_tree(self):
+        assert mean_fanout(CTree(min_fanout=2)) == 0.0
+
+    def test_single_leaf(self, rng):
+        tree = bulk_load([random_labeled_graph(rng, 4) for _ in range(3)],
+                         min_fanout=2)
+        assert mean_fanout(tree) == 3.0
+
+    def test_two_levels(self, rng):
+        graphs = [random_labeled_graph(rng, 4) for _ in range(20)]
+        tree = bulk_load(graphs, min_fanout=2, max_fanout=4)
+        k = mean_fanout(tree)
+        assert 2.0 <= k <= 4.0
+
+
+class TestDatasetsRegistry:
+    def test_registry_names(self):
+        from repro.experiments.subgraph_experiments import DATASETS
+
+        assert set(DATASETS) == {"chemical", "synthetic"}
+        graphs = DATASETS["chemical"](5, 1)
+        assert len(graphs) == 5

@@ -1,0 +1,104 @@
+"""Unit tests for Neighbor Biased Mapping (Alg. 1)."""
+
+import random
+
+from repro.graphs.closure import GraphClosure
+from repro.graphs.graph import Graph
+from repro.graphs.operations import vertex_permuted
+from repro.matching.bounds import sim_upper_bound
+from repro.matching.nbm import nbm_mapping
+
+from conftest import path_graph, random_labeled_graph, star, triangle
+
+
+class TestBasics:
+    def test_empty_graphs(self):
+        m = nbm_mapping(Graph(), Graph(["A"]))
+        assert m.matched_pairs() == {}
+
+    def test_identical_tiny_graph_perfect(self):
+        g = triangle()
+        m = nbm_mapping(g, g)
+        assert m.edit_cost() == 0.0
+        assert m.similarity() == 6.0
+
+    def test_covers_smaller_graph(self):
+        g1 = path_graph(["A", "B"])
+        g2 = path_graph(["A", "B", "C", "D"])
+        m = nbm_mapping(g1, g2)
+        assert len(m.matched_pairs()) == 2
+
+    def test_unequal_sizes_leave_dummies(self):
+        g1 = path_graph(["A", "B", "C"])
+        g2 = Graph(["A"])
+        m = nbm_mapping(g1, g2)
+        assert len(m.matched_pairs()) == 1
+        dummy_side = [u for u, v in m.pairs if v is None]
+        assert len(dummy_side) == 2
+
+    def test_label_preference(self):
+        g1 = Graph(["A", "B"], [(0, 1)])
+        g2 = Graph(["B", "A"], [(0, 1)])
+        m = nbm_mapping(g1, g2)
+        assert m.matched_pairs() == {0: 1, 1: 0}
+        assert m.edit_cost() == 0.0
+
+
+class TestNeighborBias:
+    def test_extends_common_substructure(self):
+        # Two copies of a distinctive path embedded among decoys: the bias
+        # should map the path onto the path.
+        g1 = path_graph(["X", "Y", "Z"])
+        g2 = Graph(["X", "Y", "Z", "X", "Y"], [(0, 1), (1, 2), (3, 4)])
+        m = nbm_mapping(g1, g2)
+        pairs = m.matched_pairs()
+        # Mapped image must preserve both path edges.
+        assert m.similarity() == 5.0, pairs
+
+    def test_permuted_self_mapping_is_perfect_on_distinct_labels(self, rng):
+        g = random_labeled_graph(rng, 12, num_labels=12)
+        h = vertex_permuted(g, rng)
+        m = nbm_mapping(g, h)
+        assert m.edit_cost() == 0.0
+
+    def test_neighborhood_init_breaks_label_ties(self):
+        # All vertices share one label; only structure distinguishes them.
+        g = star("C", ["C", "C", "C"])
+        h = path_graph(["C", "C", "C", "C"])
+        m = nbm_mapping(g, h)
+        # Star center (degree 3) cannot embed in a path; some edges must be
+        # lost, but vertex matching should still be complete.
+        assert len(m.matched_pairs()) == 4
+
+    def test_self_distance_mostly_zero_on_chemical_graphs(self, chem_db_small, rng):
+        nonzero = 0
+        for g in chem_db_small[:20]:
+            if nbm_mapping(g, vertex_permuted(g, rng)).edit_cost() > 0:
+                nonzero += 1
+        # Heuristic: allow a few misses, but most must be exact.
+        assert nonzero <= 6
+
+
+class TestClosureSupport:
+    def test_maps_graph_onto_closure(self):
+        c = GraphClosure([{"A", "B"}, {"C"}])
+        c.add_edge(0, 1, {None})
+        g = Graph(["B", "C"], [(0, 1)])
+        m = nbm_mapping(g, c)
+        assert m.edit_cost() == 0.0
+
+    def test_similarity_below_upper_bound(self, rng):
+        for _ in range(10):
+            g1 = random_labeled_graph(rng, rng.randrange(3, 12))
+            g2 = random_labeled_graph(rng, rng.randrange(3, 12))
+            m = nbm_mapping(g1, g2)
+            assert m.similarity() <= sim_upper_bound(g1, g2) + 1e-9
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, rng):
+        g1 = random_labeled_graph(rng, 15)
+        g2 = random_labeled_graph(rng, 15)
+        m1 = nbm_mapping(g1, g2)
+        m2 = nbm_mapping(g1, g2)
+        assert m1.pairs == m2.pairs

@@ -1,0 +1,101 @@
+"""Unit tests for repro.graphs.operations."""
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.operations import (
+    disjoint_union,
+    level_n_adjacent_subgraph,
+    random_connected_subgraph,
+    vertex_permuted,
+)
+
+from conftest import path_graph, random_labeled_graph, star, triangle
+
+
+class TestRandomConnectedSubgraph:
+    def test_size_and_connectivity(self, rng):
+        g = random_labeled_graph(rng, 20)
+        for size in (1, 5, 10, 20):
+            sub = random_connected_subgraph(g, size, rng)
+            assert sub.num_vertices == size
+            assert sub.is_connected()
+
+    def test_labels_preserved(self, rng):
+        g = path_graph(["A", "B", "C", "D", "E"])
+        sub = random_connected_subgraph(g, 3, rng)
+        labels = {sub.label(v) for v in sub.vertices()}
+        assert labels <= {"A", "B", "C", "D", "E"}
+
+    def test_too_large_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_connected_subgraph(triangle(), 4, rng)
+
+    def test_zero_size_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_connected_subgraph(triangle(), 0, rng)
+
+    def test_disconnected_graph_respects_components(self, rng):
+        g = Graph(["A", "B", "C", "D"], [(0, 1), (2, 3)])
+        # No connected subgraph of size 3 exists.
+        with pytest.raises(GraphError):
+            random_connected_subgraph(g, 3, rng)
+        sub = random_connected_subgraph(g, 2, rng)
+        assert sub.is_connected()
+
+    def test_deterministic_given_rng(self):
+        g = random_labeled_graph(random.Random(1), 15)
+        s1 = random_connected_subgraph(g, 6, random.Random(7))
+        s2 = random_connected_subgraph(g, 6, random.Random(7))
+        assert s1 == s2
+
+
+class TestLevelNAdjacentSubgraph:
+    def test_level_zero_is_single_vertex(self):
+        g = star("X", ["A", "B"])
+        sub = level_n_adjacent_subgraph(g, 0, 0)
+        assert sub.num_vertices == 1
+        assert sub.label(0) == "X"
+
+    def test_level_one_star(self):
+        g = star("X", ["A", "B", "C"])
+        sub = level_n_adjacent_subgraph(g, 0, 1)
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 3
+
+    def test_start_vertex_is_zero(self):
+        g = path_graph(["A", "B", "C", "D"])
+        sub = level_n_adjacent_subgraph(g, 2, 1)
+        assert sub.label(0) == "C"
+        assert sub.num_vertices == 3
+
+    def test_includes_cross_edges(self):
+        # The induced subgraph keeps edges between same-level vertices.
+        g = triangle()
+        sub = level_n_adjacent_subgraph(g, 0, 1)
+        assert sub.num_edges == 3
+
+
+class TestDisjointUnion:
+    def test_counts(self):
+        u = disjoint_union(triangle(), path_graph(["X", "Y"]))
+        assert u.num_vertices == 5
+        assert u.num_edges == 4
+        assert not u.is_connected()
+
+    def test_labels_shifted(self):
+        u = disjoint_union(Graph(["A"]), Graph(["B"]))
+        assert u.label(0) == "A"
+        assert u.label(1) == "B"
+
+
+class TestVertexPermuted:
+    def test_preserves_multisets(self, rng):
+        g = random_labeled_graph(rng, 12)
+        h = vertex_permuted(g, rng)
+        assert g.vertex_label_counts() == h.vertex_label_counts()
+        assert g.num_edges == h.num_edges
+        assert g.signature() == h.signature()

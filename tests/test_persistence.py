@@ -1,0 +1,115 @@
+"""Unit tests for C-tree persistence."""
+
+import json
+
+import pytest
+
+from repro.exceptions import PersistenceError
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.persistence import (
+    index_size_bytes,
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.ctree.subgraph_query import linear_scan_subgraph_query, subgraph_query
+from repro.ctree.tree import CTree
+from repro.datasets.queries import generate_subgraph_queries
+
+from conftest import random_labeled_graph, triangle
+
+
+@pytest.fixture(scope="module")
+def loaded_tree(tmp_path_factory):
+    import random
+
+    rng = random.Random(3)
+    graphs = [random_labeled_graph(rng, rng.randrange(3, 8)) for _ in range(25)]
+    return bulk_load(graphs, min_fanout=2, max_fanout=4), graphs
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_structure(self, loaded_tree):
+        tree, _ = loaded_tree
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert len(restored) == len(tree)
+        assert restored.height() == tree.height()
+        assert restored.node_count() == tree.node_count()
+        assert restored.root.closure == tree.root.closure
+        restored.validate()
+
+    def test_file_roundtrip_preserves_answers(self, loaded_tree, tmp_path):
+        tree, graphs = loaded_tree
+        path = tmp_path / "tree.json"
+        written = save_tree(tree, path)
+        assert written == path.stat().st_size
+        restored = load_tree(path)
+        queries = generate_subgraph_queries(graphs, 3, 3, seed=1)
+        for q in queries:
+            original, _ = subgraph_query(tree, q)
+            roundtripped, _ = subgraph_query(restored, q)
+            assert sorted(original) == sorted(roundtripped)
+
+    def test_config_preserved(self, loaded_tree):
+        tree, _ = loaded_tree
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored.min_fanout == tree.min_fanout
+        assert restored.max_fanout == tree.max_fanout
+        assert restored.mapping_method == tree.mapping_method
+
+    def test_empty_tree(self, tmp_path):
+        tree = CTree(min_fanout=2)
+        path = tmp_path / "empty.json"
+        save_tree(tree, path)
+        restored = load_tree(path)
+        assert len(restored) == 0
+
+    def test_mutable_after_load(self, loaded_tree):
+        tree, _ = loaded_tree
+        restored = tree_from_dict(tree_to_dict(tree))
+        new_id = restored.insert(triangle())
+        assert new_id == len(tree)
+        restored.validate()
+
+
+class TestErrors:
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(PersistenceError):
+            load_tree(path)
+
+    def test_wrong_format_version(self):
+        with pytest.raises(PersistenceError):
+            tree_from_dict({"format": 999})
+
+    def test_missing_fields(self):
+        with pytest.raises(PersistenceError):
+            tree_from_dict({"format": 1})
+
+
+class TestSizeAccounting:
+    def test_size_with_and_without_graphs(self, loaded_tree):
+        tree, _ = loaded_tree
+        full = index_size_bytes(tree)
+        overhead = index_size_bytes(tree, include_graphs=False)
+        assert 0 < overhead < full
+
+    def test_size_grows_with_database(self):
+        import random
+
+        rng = random.Random(4)
+        small = bulk_load(
+            [random_labeled_graph(rng, 5) for _ in range(5)], min_fanout=2
+        )
+        big = bulk_load(
+            [random_labeled_graph(rng, 5) for _ in range(40)], min_fanout=2
+        )
+        assert index_size_bytes(big) > index_size_bytes(small)
+
+    def test_serialized_is_valid_json(self, loaded_tree, tmp_path):
+        tree, _ = loaded_tree
+        path = tmp_path / "t.json"
+        save_tree(tree, path)
+        json.loads(path.read_text())

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's mathematical claims directly:
+
+- closures contain their members (histograms dominate; pseudo-iso accepts),
+- pseudo subgraph isomorphism never produces false negatives (Lemma 1),
+- Eqn. (7) upper-bounds similarity under any mapping,
+- graph distance under the uniform measure behaves like a metric,
+- matching algorithms agree with reference implementations,
+- the C-tree keeps its invariants under arbitrary insert/delete sequences.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.closure import closure_under_mapping
+from repro.graphs.graph import Graph
+from repro.graphs.histogram import LabelHistogram
+from repro.graphs.operations import random_connected_subgraph, vertex_permuted
+from repro.matching.bounds import distance_lower_bound, sim_upper_bound
+from repro.matching.nbm import nbm_mapping
+from repro.matching.pseudo_iso import pseudo_subgraph_isomorphic
+from repro.matching.state_search import optimal_distance
+from repro.matching.ullmann import subgraph_isomorphic
+from repro.ctree.tree import CTree
+
+LABELS = ["A", "B", "C"]
+
+
+@st.composite
+def graphs(draw, min_vertices=1, max_vertices=7):
+    """Random small labeled graphs."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(n)]
+    g = Graph(labels)
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    for u, v in possible:
+        if draw(st.booleans()):
+            g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def graph_pairs_with_mapping(draw):
+    """Two graphs plus a random valid extended mapping between them."""
+    g1 = draw(graphs())
+    g2 = draw(graphs())
+    n1, n2 = g1.num_vertices, g2.num_vertices
+    rng = random.Random(draw(st.integers(0, 2**16)))
+    k = rng.randint(0, min(n1, n2))
+    us = rng.sample(range(n1), k)
+    vs = rng.sample(range(n2), k)
+    partial = dict(zip(us, vs))
+    return g1, g2, partial
+
+
+class TestClosureContainment:
+    @given(graph_pairs_with_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_histogram_dominates_members(self, data):
+        g1, g2, partial = data
+        from repro.graphs.mapping import GraphMapping
+
+        mapping = GraphMapping.from_partial(g1, g2, partial)
+        closure = mapping.closure()
+        hist = LabelHistogram.of(closure)
+        assert hist.dominates(LabelHistogram.of(g1))
+        assert hist.dominates(LabelHistogram.of(g2))
+
+    @given(graph_pairs_with_mapping())
+    @settings(max_examples=40, deadline=None)
+    def test_members_embed_in_closure(self, data):
+        g1, g2, partial = data
+        from repro.graphs.mapping import GraphMapping
+
+        closure = GraphMapping.from_partial(g1, g2, partial).closure()
+        assert subgraph_isomorphic(g1, closure)
+        assert subgraph_isomorphic(g2, closure)
+
+    @given(graph_pairs_with_mapping())
+    @settings(max_examples=40, deadline=None)
+    def test_closure_volume_nonnegative(self, data):
+        g1, g2, partial = data
+        from repro.graphs.mapping import GraphMapping
+
+        closure = GraphMapping.from_partial(g1, g2, partial).closure()
+        assert closure.log_volume() >= 0.0
+
+
+class TestPseudoIsoSoundness:
+    @given(graphs(max_vertices=6), graphs(max_vertices=8),
+           st.sampled_from([0, 1, 2, "max"]))
+    @settings(max_examples=80, deadline=None)
+    def test_no_false_negatives(self, q, t, level):
+        """Lemma 1: exact sub-isomorphism implies pseudo sub-isomorphism."""
+        if subgraph_isomorphic(q, t):
+            assert pseudo_subgraph_isomorphic(q, t, level)
+
+    @given(graphs(max_vertices=6), graphs(max_vertices=8))
+    @settings(max_examples=60, deadline=None)
+    def test_levels_monotone(self, q, t):
+        """Passing a deeper level implies passing every shallower level."""
+        deeper = pseudo_subgraph_isomorphic(q, t, "max")
+        if deeper:
+            for level in (0, 1, 2):
+                assert pseudo_subgraph_isomorphic(q, t, level)
+
+
+class TestSimilarityBounds:
+    @given(graphs(), graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_eqn7_dominates_nbm(self, g1, g2):
+        assert nbm_mapping(g1, g2).similarity() <= sim_upper_bound(g1, g2) + 1e-9
+
+    @given(graphs(max_vertices=5), graphs(max_vertices=5))
+    @settings(max_examples=30, deadline=None)
+    def test_distance_lower_bound_sound(self, g1, g2):
+        assert distance_lower_bound(g1, g2) <= optimal_distance(g1, g2) + 1e-9
+
+
+class TestDistanceMetricProperties:
+    @given(graphs(max_vertices=4), graphs(max_vertices=4))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, g1, g2):
+        assert optimal_distance(g1, g2) == optimal_distance(g2, g1)
+
+    @given(graphs(max_vertices=4))
+    @settings(max_examples=20, deadline=None)
+    def test_identity(self, g):
+        assert optimal_distance(g, g) == 0.0
+
+    @given(graphs(max_vertices=4), st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_isomorphism_invariance(self, g, seed):
+        h = vertex_permuted(g, random.Random(seed))
+        assert optimal_distance(g, h) == 0.0
+
+    @given(graphs(max_vertices=3), graphs(max_vertices=3), graphs(max_vertices=3))
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert optimal_distance(a, c) <= (
+            optimal_distance(a, b) + optimal_distance(b, c) + 1e-9
+        )
+
+
+class TestCTreeInvariants:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 2**16)),
+                    min_size=1, max_size=40),
+           st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_random_insert_delete_sequences(self, operations, seed):
+        rng = random.Random(seed)
+        tree = CTree(min_fanout=2, max_fanout=3)
+        alive: list[int] = []
+        next_id = 0
+        for is_delete, op_seed in operations:
+            op_rng = random.Random(op_seed)
+            if is_delete and alive:
+                victim = alive.pop(op_rng.randrange(len(alive)))
+                tree.delete(victim)
+            else:
+                n = op_rng.randint(1, 6)
+                g = Graph([op_rng.choice(LABELS) for _ in range(n)])
+                for v in range(1, n):
+                    g.add_edge(op_rng.randrange(v), v)
+                tree.insert(g, graph_id=next_id)
+                alive.append(next_id)
+                next_id += 1
+        tree.validate()
+        assert sorted(tree.graph_ids()) == sorted(alive)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_query_equals_linear_scan(self, seed):
+        from repro.ctree.subgraph_query import (
+            linear_scan_subgraph_query,
+            subgraph_query,
+        )
+
+        rng = random.Random(seed)
+        tree = CTree(min_fanout=2, max_fanout=3)
+        graphs_list = []
+        for i in range(15):
+            n = rng.randint(2, 7)
+            g = Graph([rng.choice(LABELS) for _ in range(n)])
+            for v in range(1, n):
+                g.add_edge(rng.randrange(v), v)
+            graphs_list.append(g)
+            tree.insert(g)
+        source = graphs_list[rng.randrange(len(graphs_list))]
+        size = rng.randint(1, min(4, source.num_vertices))
+        query = random_connected_subgraph(source, size, rng)
+        answers, _ = subgraph_query(tree, query, level=rng.choice([0, 1, "max"]))
+        expected = linear_scan_subgraph_query(dict(tree.graphs()), query)
+        assert sorted(answers) == sorted(expected)

@@ -1,0 +1,102 @@
+"""Property-based tests for the storage substrate and wildcard soundness."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.closure import WILDCARD
+from repro.graphs.graph import Graph
+from repro.matching.pseudo_iso import pseudo_subgraph_isomorphic
+from repro.matching.ullmann import subgraph_isomorphic
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagefile import PageFile
+from repro.storage.recordstore import RecordStore
+
+
+class TestRecordStoreProperties:
+    @given(
+        st.lists(st.binary(max_size=700), min_size=1, max_size=25),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_store_load_roundtrip_any_cache_size(self, payloads, capacity):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            pf = PageFile.create(Path(tmp) / "f.ctp", page_size=128)
+            store = RecordStore(BufferPool(pf, capacity=capacity))
+            rids = [store.store(p) for p in payloads]
+            for rid, payload in zip(rids, payloads):
+                assert store.load(rid) == payload
+            store.pool.close()
+
+    @given(st.lists(
+        st.tuples(st.booleans(), st.binary(max_size=300)),
+        min_size=1, max_size=30,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_store_delete(self, operations):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            pf = PageFile.create(Path(tmp) / "f.ctp", page_size=128)
+            store = RecordStore(BufferPool(pf, capacity=4))
+            live: dict[int, bytes] = {}
+            for is_delete, payload in operations:
+                if is_delete and live:
+                    rid = next(iter(live))
+                    store.delete(rid)
+                    del live[rid]
+                else:
+                    live[store.store(payload)] = payload
+            for rid, payload in live.items():
+                assert store.load(rid) == payload
+            store.pool.close()
+
+
+class TestWildcardSoundness:
+    @given(st.integers(0, 2**16), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_wildcarding_never_loses_answers(self, seed, num_wildcards):
+        """Replacing query labels with wildcards can only *add* matches."""
+        rng = random.Random(seed)
+        n_target = rng.randint(2, 8)
+        target = Graph([rng.choice("AB") for _ in range(n_target)])
+        for v in range(1, n_target):
+            target.add_edge(rng.randrange(v), v)
+        n_query = rng.randint(1, 4)
+        query = Graph([rng.choice("AB") for _ in range(n_query)])
+        for v in range(1, n_query):
+            query.add_edge(rng.randrange(v), v)
+
+        wild = query.copy()
+        for _ in range(num_wildcards):
+            wild.set_label(rng.randrange(n_query), WILDCARD)
+
+        if subgraph_isomorphic(query, target):
+            assert subgraph_isomorphic(wild, target)
+            for level in (0, 1, "max"):
+                assert pseudo_subgraph_isomorphic(wild, target, level)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_pseudo_iso_sound_for_wildcard_queries(self, seed):
+        """Lemma 1 still holds with wildcards: exact match => pseudo match."""
+        rng = random.Random(seed)
+        n = rng.randint(2, 7)
+        target = Graph([rng.choice("ABC") for _ in range(n)])
+        for v in range(1, n):
+            target.add_edge(rng.randrange(v), v)
+        k = rng.randint(1, min(3, n))
+        labels = [
+            WILDCARD if rng.random() < 0.4 else rng.choice("ABC")
+            for _ in range(k)
+        ]
+        query = Graph(labels)
+        for v in range(1, k):
+            query.add_edge(rng.randrange(v), v)
+        if subgraph_isomorphic(query, target):
+            assert pseudo_subgraph_isomorphic(query, target, "max")

@@ -1,0 +1,80 @@
+"""Unit tests for the query statistics containers."""
+
+import pytest
+
+from repro.ctree.diskindex import DiskQueryStats
+from repro.ctree.stats import KnnStats, QueryStats
+
+
+class TestQueryStats:
+    def test_defaults(self):
+        stats = QueryStats()
+        assert stats.access_ratio == 0.0
+        assert stats.accuracy == 1.0  # empty candidate set convention
+        assert stats.total_seconds == 0.0
+
+    def test_access_ratio(self):
+        stats = QueryStats(database_size=100, pseudo_tests=25)
+        assert stats.access_ratio == 0.25
+
+    def test_accuracy(self):
+        stats = QueryStats(candidates=10, answers=7)
+        assert stats.accuracy == 0.7
+
+    def test_record_level_grows_lists(self):
+        stats = QueryStats()
+        stats.record_level(2, 4, 3)
+        assert stats.x_by_level == [0, 0, 4]
+        assert stats.y_by_level == [0, 0, 3]
+        assert stats.nodes_by_level == [0, 0, 1]
+
+    def test_record_level_accumulates(self):
+        stats = QueryStats()
+        stats.record_level(0, 4, 3)
+        stats.record_level(0, 2, 1)
+        assert stats.x_by_level == [6]
+        assert stats.nodes_by_level == [2]
+
+    def test_merge_levels(self):
+        a = QueryStats(database_size=10)
+        a.record_level(0, 3, 2)
+        a.record_level(1, 5, 4)
+        b = QueryStats(database_size=10)
+        b.record_level(0, 1, 1)
+        a.merge(b)
+        assert a.x_by_level == [4, 5]
+        assert a.nodes_by_level == [2, 1]
+
+    def test_merge_scalars(self):
+        a = QueryStats(candidates=3, answers=2, search_seconds=0.5)
+        b = QueryStats(candidates=5, answers=1, search_seconds=0.25)
+        a.merge(b)
+        assert a.candidates == 8
+        assert a.answers == 3
+        assert a.search_seconds == 0.75
+
+    def test_merge_takes_max_database_size(self):
+        a = QueryStats(database_size=5)
+        b = QueryStats(database_size=9)
+        a.merge(b)
+        assert a.database_size == 9
+
+
+class TestKnnStats:
+    def test_access_ratio(self):
+        stats = KnnStats(database_size=50, nodes_expanded=3, graphs_scored=7)
+        assert stats.access_ratio == 0.2
+
+    def test_access_ratio_empty_database(self):
+        assert KnnStats().access_ratio == 0.0
+
+
+class TestDiskQueryStats:
+    def test_inherits_query_stats(self):
+        stats = DiskQueryStats(database_size=10, pseudo_tests=5)
+        assert stats.access_ratio == 0.5
+
+    def test_page_hit_ratio(self):
+        stats = DiskQueryStats(page_hits=3, page_misses=1)
+        assert stats.page_hit_ratio == 0.75
+        assert DiskQueryStats().page_hit_ratio == 0.0

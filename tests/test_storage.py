@@ -1,0 +1,214 @@
+"""Unit tests for the disk storage substrate (page file, buffer pool,
+record store)."""
+
+import pytest
+
+from repro.exceptions import PersistenceError
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagefile import NO_PAGE, PageFile
+from repro.storage.recordstore import RecordStore
+
+
+@pytest.fixture
+def pagefile(tmp_path):
+    pf = PageFile.create(tmp_path / "test.ctp", page_size=128)
+    yield pf
+    pf.close()
+
+
+class TestPageFile:
+    def test_create_and_reopen(self, tmp_path):
+        path = tmp_path / "a.ctp"
+        pf = PageFile.create(path, page_size=256)
+        pid = pf.allocate()
+        pf.write_page(pid, b"hello")
+        pf.user_root = pid
+        pf.close()
+
+        pf2 = PageFile.open(path)
+        assert pf2.page_size == 256
+        assert pf2.user_root == pid
+        assert pf2.read_page(pid).startswith(b"hello")
+        pf2.close()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTAPAGE" + b"\0" * 100)
+        with pytest.raises(PersistenceError):
+            PageFile.open(path)
+
+    def test_short_file_rejected(self, tmp_path):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"xx")
+        with pytest.raises(PersistenceError):
+            PageFile.open(path)
+
+    def test_page_size_floor(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            PageFile.create(tmp_path / "b.ctp", page_size=16)
+
+    def test_allocate_monotone_then_recycled(self, pagefile):
+        p1 = pagefile.allocate()
+        p2 = pagefile.allocate()
+        assert p2 == p1 + 1
+        pagefile.free(p1)
+        p3 = pagefile.allocate()
+        assert p3 == p1  # recycled from the free list
+
+    def test_free_list_chain(self, pagefile):
+        pages = [pagefile.allocate() for _ in range(4)]
+        for p in pages:
+            pagefile.free(p)
+        recycled = {pagefile.allocate() for _ in range(4)}
+        assert recycled == set(pages)
+
+    def test_write_too_large_rejected(self, pagefile):
+        pid = pagefile.allocate()
+        with pytest.raises(PersistenceError):
+            pagefile.write_page(pid, b"x" * 129)
+
+    def test_header_page_protected(self, pagefile):
+        with pytest.raises(PersistenceError):
+            pagefile.write_page(0, b"x")
+        with pytest.raises(PersistenceError):
+            pagefile.read_page(0)
+
+    def test_out_of_range_read(self, pagefile):
+        with pytest.raises(PersistenceError):
+            pagefile.read_page(999)
+
+    def test_closed_file_rejects_ops(self, tmp_path):
+        pf = PageFile.create(tmp_path / "c.ctp", page_size=128)
+        pf.close()
+        with pytest.raises(PersistenceError):
+            pf.allocate()
+
+    def test_io_counters(self, pagefile):
+        pid = pagefile.allocate()
+        reads0 = pagefile.reads
+        pagefile.read_page(pid)
+        assert pagefile.reads == reads0 + 1
+
+    def test_context_manager(self, tmp_path):
+        with PageFile.create(tmp_path / "d.ctp", page_size=128) as pf:
+            pf.allocate()
+        with pytest.raises(PersistenceError):
+            pf.allocate()
+
+
+class TestBufferPool:
+    def test_capacity_validated(self, pagefile):
+        with pytest.raises(PersistenceError):
+            BufferPool(pagefile, capacity=0)
+
+    def test_hit_and_miss_counters(self, pagefile):
+        pool = BufferPool(pagefile, capacity=4)
+        pid = pool.allocate()
+        pool.put(pid, b"data")
+        assert pool.get(pid).startswith(b"data")
+        assert pool.hits == 1 and pool.misses == 0
+        pool.flush()
+        pool2 = BufferPool(pagefile, capacity=4)
+        pool2.get(pid)
+        assert pool2.misses == 1
+
+    def test_lru_eviction_writes_back(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        pids = [pool.allocate() for _ in range(3)]
+        for i, pid in enumerate(pids):
+            pool.put(pid, f"page{i}".encode())
+        assert pool.evictions >= 1
+        assert pool.writebacks >= 1
+        # The evicted page's data must survive on disk.
+        assert pool.get(pids[0]).startswith(b"page0")
+
+    def test_lru_order_respects_access(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        a = pool.allocate()
+        b = pool.allocate()
+        c = pool.allocate()
+        pool.put(a, b"A")
+        pool.put(b, b"B")
+        pool.get(a)          # a becomes most-recent
+        pool.put(c, b"C")    # evicts b, not a
+        misses0 = pool.misses
+        pool.get(a)
+        assert pool.misses == misses0  # still cached
+
+    def test_flush_clears_dirty(self, pagefile):
+        pool = BufferPool(pagefile, capacity=4)
+        pid = pool.allocate()
+        pool.put(pid, b"zz")
+        pool.flush()
+        writebacks = pool.writebacks
+        pool.flush()
+        assert pool.writebacks == writebacks  # nothing left dirty
+
+    def test_oversized_put_rejected(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        pid = pool.allocate()
+        with pytest.raises(PersistenceError):
+            pool.put(pid, b"x" * 129)
+
+    def test_hit_ratio(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        assert pool.hit_ratio == 0.0
+        pid = pool.allocate()
+        pool.put(pid, b"y")
+        pool.get(pid)
+        assert pool.hit_ratio == 1.0
+        pool.reset_stats()
+        assert pool.hits == 0
+
+
+class TestRecordStore:
+    @pytest.fixture
+    def store(self, pagefile):
+        return RecordStore(BufferPool(pagefile, capacity=8))
+
+    def test_roundtrip_small(self, store):
+        rid = store.store(b"hello world")
+        assert store.load(rid) == b"hello world"
+
+    def test_roundtrip_empty(self, store):
+        rid = store.store(b"")
+        assert store.load(rid) == b""
+
+    def test_roundtrip_multi_page(self, store):
+        data = bytes(range(256)) * 10  # 2560 bytes >> 128-byte pages
+        rid = store.store(data)
+        assert store.load(rid) == data
+
+    def test_many_records_independent(self, store):
+        payloads = [f"record-{i}".encode() * (i + 1) for i in range(20)]
+        rids = store.store_many(payloads)
+        for rid, payload in zip(rids, payloads):
+            assert store.load(rid) == payload
+
+    def test_delete_recycles_pages(self, store):
+        data = b"z" * 1000
+        rid = store.store(data)
+        pages_before = store.pool.pagefile.page_count
+        store.delete(rid)
+        rid2 = store.store(data)
+        assert store.pool.pagefile.page_count == pages_before
+        assert store.load(rid2) == data
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "records.ctp"
+        pf = PageFile.create(path, page_size=128)
+        store = RecordStore(BufferPool(pf, capacity=4))
+        rid = store.store(b"durable" * 50)
+        pf.user_root = rid
+        store.pool.close()
+
+        pf2 = PageFile.open(path)
+        store2 = RecordStore(BufferPool(pf2, capacity=4))
+        assert store2.load(pf2.user_root) == b"durable" * 50
+        store2.pool.close()
+
+    def test_huge_page_size_rejected(self, tmp_path):
+        pf = PageFile.create(tmp_path / "big.ctp", page_size=1 << 17)
+        with pytest.raises(PersistenceError):
+            RecordStore(BufferPool(pf, capacity=2))
+        pf.close()

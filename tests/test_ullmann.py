@@ -1,0 +1,158 @@
+"""Unit tests for Ullmann subgraph isomorphism, cross-validated against
+networkx monomorphism."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.closure import GraphClosure, closure_under_mapping
+from repro.graphs.graph import Graph
+from repro.graphs.interop import to_networkx
+from repro.graphs.operations import random_connected_subgraph, vertex_permuted
+from repro.matching.ullmann import (
+    compatibility_domains,
+    enumerate_embeddings,
+    find_embedding,
+    graph_isomorphic,
+    refine_domains,
+    subgraph_isomorphic,
+)
+
+from conftest import path_graph, random_labeled_graph, star, triangle
+
+
+def nx_monomorphic(query: Graph, target: Graph) -> bool:
+    gm = nx.algorithms.isomorphism.GraphMatcher(
+        to_networkx(target),
+        to_networkx(query),
+        node_match=lambda a, b: a["label"] == b["label"],
+        edge_match=lambda a, b: a.get("label") == b.get("label"),
+    )
+    return gm.subgraph_is_monomorphic()
+
+
+class TestBasics:
+    def test_empty_query_always_matches(self):
+        assert subgraph_isomorphic(Graph(), triangle())
+        assert find_embedding(Graph(), triangle()) == {}
+
+    def test_query_larger_than_target(self):
+        assert not subgraph_isomorphic(triangle(), Graph(["A"]))
+
+    def test_single_vertex(self):
+        assert subgraph_isomorphic(Graph(["B"]), triangle())
+        assert not subgraph_isomorphic(Graph(["Z"]), triangle())
+
+    def test_extracted_subgraph_always_found(self, rng):
+        for _ in range(10):
+            g = random_labeled_graph(rng, 12)
+            q = random_connected_subgraph(g, rng.randrange(2, 8), rng)
+            assert subgraph_isomorphic(q, g)
+
+    def test_monomorphism_not_induced(self):
+        # Path A-B-C embeds in triangle even though the triangle has the
+        # extra A-C edge (non-induced semantics).
+        q = path_graph(["A", "B", "C"])
+        assert subgraph_isomorphic(q, triangle())
+
+    def test_label_mismatch_blocks(self):
+        assert not subgraph_isomorphic(Graph(["A", "Z"], [(0, 1)]), triangle())
+
+    def test_degree_constraint(self):
+        # A 3-star cannot embed in a path.
+        q = star("C", ["C", "C", "C"])
+        t = path_graph(["C"] * 6)
+        assert not subgraph_isomorphic(q, t)
+
+    def test_edge_labels_respected(self):
+        q = Graph(["A", "B"], [(0, 1, "double")])
+        t1 = Graph(["A", "B"], [(0, 1, "double")])
+        t2 = Graph(["A", "B"], [(0, 1, "single")])
+        assert subgraph_isomorphic(q, t1)
+        assert not subgraph_isomorphic(q, t2)
+
+
+class TestEmbeddings:
+    def test_embedding_is_valid(self, rng):
+        g = random_labeled_graph(rng, 10)
+        q = random_connected_subgraph(g, 5, rng)
+        embedding = find_embedding(q, g)
+        assert embedding is not None
+        assert len(set(embedding.values())) == q.num_vertices
+        for v in q.vertices():
+            assert q.label(v) == g.label(embedding[v])
+        for u, v, label in q.edges():
+            assert g.has_edge(embedding[u], embedding[v])
+
+    def test_enumerate_counts_triangle_automorphisms(self):
+        g = Graph(["A", "A", "A"], [(0, 1), (1, 2), (0, 2)])
+        embeddings = list(enumerate_embeddings(g, g))
+        assert len(embeddings) == 6  # all vertex permutations
+
+    def test_enumerate_limit(self):
+        g = Graph(["A", "A", "A"], [(0, 1), (1, 2), (0, 2)])
+        assert len(list(enumerate_embeddings(g, g, limit=2))) == 2
+
+    def test_precomputed_domains_respected(self):
+        q = Graph(["A"])
+        t = Graph(["A", "A"])
+        # Artificially restrict to target vertex 1 only.
+        embeddings = list(enumerate_embeddings(q, t, domains=[{1}]))
+        assert embeddings == [{0: 1}]
+
+
+class TestRefinement:
+    def test_initial_domains_use_degree(self):
+        q = path_graph(["A", "B"])
+        t = Graph(["A", "B", "A"], [(0, 1)])
+        domains = compatibility_domains(q, t)
+        # Isolated target vertex 2 fails the degree precondition.
+        assert domains[0] == {0}
+
+    def test_refine_removes_unsupported(self):
+        q = path_graph(["A", "B"])
+        # Two degree-1 A vertices in the target, but only one has a
+        # B-labeled neighbor.
+        t = Graph(["A", "B", "A", "C"], [(0, 1), (2, 3)])
+        domains = compatibility_domains(q, t)
+        assert domains[0] == {0, 2}
+        refine_domains(q, t, domains)
+        assert domains[0] == {0}
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_pairs(self, seed):
+        rng = random.Random(seed)
+        q = random_labeled_graph(rng, rng.randrange(2, 6), num_labels=2)
+        t = random_labeled_graph(rng, rng.randrange(2, 9), num_labels=2)
+        assert subgraph_isomorphic(q, t) == nx_monomorphic(q, t)
+
+
+class TestGraphIsomorphism:
+    def test_permuted_copies(self, rng):
+        g = random_labeled_graph(rng, 8)
+        assert graph_isomorphic(g, vertex_permuted(g, rng))
+
+    def test_different_sizes(self):
+        assert not graph_isomorphic(triangle(), path_graph(["A", "B"]))
+
+    def test_same_counts_different_structure(self):
+        g1 = path_graph(["A", "A", "A", "A"])
+        g2 = star("A", ["A", "A", "A"])
+        assert not graph_isomorphic(g1, g2)
+
+
+class TestClosureTargets:
+    def test_graph_embeds_in_its_closure(self):
+        g1 = path_graph(["A", "B", "C"])
+        g2 = path_graph(["A", "D", "C"])
+        c = closure_under_mapping(g1, g2, [(i, i) for i in range(3)])
+        assert subgraph_isomorphic(g1, c)
+        assert subgraph_isomorphic(g2, c)
+
+    def test_non_member_can_be_rejected(self):
+        c = GraphClosure([{"A"}, {"B"}])
+        c.add_edge(0, 1, {None})
+        assert not subgraph_isomorphic(Graph(["Z"]), c)
