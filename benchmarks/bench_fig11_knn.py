@@ -4,12 +4,11 @@ Paper result: K=1 touches under ~10% of the database; the access ratio and
 query time grow sublinearly with K on both datasets.
 """
 
-from conftest import KNN, record_table
+from conftest import KNN, record_figure
 
 from dataclasses import replace
 
 from repro.ctree.similarity_query import knn_query
-from repro.experiments.reporting import format_series_table
 from repro.experiments.similarity_experiments import run_knn_sweep
 
 
@@ -21,30 +20,26 @@ def test_fig11_knn_sweep(benchmark):
         rounds=1, iterations=1,
     )
 
-    record_table(
+    record_figure(
         "fig11a_knn_access_ratio",
-        format_series_table(
-            "Fig 11(a): K-NN access ratio vs K",
-            "K",
-            chem.ks,
-            {
-                "Compounds": chem.access_ratio,
-                "Synthetic graphs": synth.access_ratio,
-            },
-        ),
+        "Fig 11(a): K-NN access ratio vs K",
+        "K",
+        chem.ks,
+        {
+            "Compounds": chem.access_ratio,
+            "Synthetic graphs": synth.access_ratio,
+        },
     )
-    record_table(
+    record_figure(
         "fig11b_knn_query_time",
-        format_series_table(
-            "Fig 11(b): K-NN query time vs K (seconds)",
-            "K",
-            chem.ks,
-            {
-                "Compounds": chem.seconds,
-                "Synthetic graphs": synth.seconds,
-            },
-            float_format="{:.4f}",
-        ),
+        "Fig 11(b): K-NN query time vs K (seconds)",
+        "K",
+        chem.ks,
+        {
+            "Compounds": chem.seconds,
+            "Synthetic graphs": synth.seconds,
+        },
+        float_format="{:.4f}",
     )
 
     # Shape assertions: access ratio grows (weakly) with K and stays a

@@ -5,10 +5,9 @@ Paper result: C-tree's index is >= 10x smaller than GraphGrep at lp=4 and
 because GraphGrep's path enumeration is exhaustive.
 """
 
-from conftest import CHEM_SWEEP, INDEX_SIZE, record_table
+from conftest import CHEM_SWEEP, INDEX_SIZE, record_figure
 
 from repro.ctree.bulkload import bulk_load
-from repro.experiments.reporting import format_series_table
 from repro.experiments.subgraph_experiments import run_index_size_experiment
 from repro.graphgrep.index import GraphGrepIndex
 
@@ -27,19 +26,15 @@ def test_fig6_index_size_and_construction(benchmark):
         ]
         series_b[f"GraphGrep lp={lp} (s)"] = result.graphgrep_seconds[lp]
 
-    record_table(
+    record_figure(
         "fig6a_index_size",
-        format_series_table(
-            "Fig 6(a): index size vs database size (chemical-like)",
-            "|D|", result.database_sizes, series_a, float_format="{:.1f}",
-        ),
+        "Fig 6(a): index size vs database size (chemical-like)",
+        "|D|", result.database_sizes, series_a, float_format="{:.1f}",
     )
-    record_table(
+    record_figure(
         "fig6b_construction_time",
-        format_series_table(
-            "Fig 6(b): index construction time vs database size",
-            "|D|", result.database_sizes, series_b,
-        ),
+        "Fig 6(b): index construction time vs database size",
+        "|D|", result.database_sizes, series_b,
     )
 
     # Shape assertions: the paper's orderings must hold.

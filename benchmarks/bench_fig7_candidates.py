@@ -5,30 +5,27 @@ are up to two orders of magnitude below GraphGrep's; at level=MAX the
 accuracy |Ans|/|CS| is near 100%.
 """
 
-from conftest import CHEM_SWEEP, record_table
+from conftest import CHEM_SWEEP, record_figure
 
 from repro.ctree.subgraph_query import subgraph_query
 from repro.datasets.queries import generate_subgraph_queries
-from repro.experiments.reporting import format_series_table
 
 
 def test_fig7a_candidate_sets(chem_sweep, benchmark):
     result = chem_sweep
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    record_table(
+    record_figure(
         "fig7a_candidates",
-        format_series_table(
-            "Fig 7(a): candidate / answer set size vs query size (chemical)",
-            "query size",
-            result.query_sizes,
-            {
-                "Answer set": result.answers,
-                "C-tree level=1": result.ctree_candidates[1],
-                "C-tree level=MAX": result.ctree_candidates["max"],
-                "GraphGrep": result.graphgrep_candidates,
-            },
-            float_format="{:.1f}",
-        ),
+        "Fig 7(a): candidate / answer set size vs query size (chemical)",
+        "query size",
+        result.query_sizes,
+        {
+            "Answer set": result.answers,
+            "C-tree level=1": result.ctree_candidates[1],
+            "C-tree level=MAX": result.ctree_candidates["max"],
+            "GraphGrep": result.graphgrep_candidates,
+        },
+        float_format="{:.1f}",
     )
     for i in range(len(result.query_sizes)):
         # Filtering soundness: candidates dominate answers everywhere.
@@ -42,18 +39,16 @@ def test_fig7a_candidate_sets(chem_sweep, benchmark):
 def test_fig7b_accuracy(chem_sweep, benchmark):
     result = chem_sweep
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    record_table(
+    record_figure(
         "fig7b_accuracy",
-        format_series_table(
-            "Fig 7(b): candidate accuracy |Ans|/|CS| vs query size (chemical)",
-            "query size",
-            result.query_sizes,
-            {
-                "C-tree level=1": result.ctree_accuracy[1],
-                "C-tree level=MAX": result.ctree_accuracy["max"],
-                "GraphGrep": result.graphgrep_accuracy,
-            },
-        ),
+        "Fig 7(b): candidate accuracy |Ans|/|CS| vs query size (chemical)",
+        "query size",
+        result.query_sizes,
+        {
+            "C-tree level=1": result.ctree_accuracy[1],
+            "C-tree level=MAX": result.ctree_accuracy["max"],
+            "GraphGrep": result.graphgrep_accuracy,
+        },
     )
     # Level=MAX accuracy is near 100% (paper: "nearly 100%").
     assert min(result.ctree_accuracy["max"]) >= 0.9

@@ -5,25 +5,21 @@ cost model tracks the measured curve, and C-tree's total query time stays
 below GraphGrep's thanks to smaller candidate sets.
 """
 
-from conftest import record_table
-
-from repro.experiments.reporting import format_series_table
+from conftest import record_figure
 
 
 def test_fig8a_access_ratio(chem_sweep, benchmark):
     result = chem_sweep
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    record_table(
+    record_figure(
         "fig8a_access_ratio",
-        format_series_table(
-            "Fig 8(a): access ratio gamma vs query size (chemical)",
-            "query size",
-            result.query_sizes,
-            {
-                "C-tree (actual)": result.access_ratio,
-                "Estimated (Sec 6.3)": result.access_ratio_estimated,
-            },
-        ),
+        "Fig 8(a): access ratio gamma vs query size (chemical)",
+        "query size",
+        result.query_sizes,
+        {
+            "C-tree (actual)": result.access_ratio,
+            "Estimated (Sec 6.3)": result.access_ratio_estimated,
+        },
     )
     # Shape: gamma decreases overall with query size.
     assert result.access_ratio[-1] <= result.access_ratio[0]
@@ -45,22 +41,20 @@ def test_fig8b_query_time(chem_sweep, benchmark):
         s + v for s, v in zip(result.graphgrep_search_seconds,
                               result.graphgrep_verify_seconds)
     ]
-    record_table(
+    record_figure(
         "fig8b_query_time",
-        format_series_table(
-            "Fig 8(b): per-query time, search + verification (seconds)",
-            "query size",
-            result.query_sizes,
-            {
-                "C-tree search": result.ctree_search_seconds,
-                "C-tree verify": result.ctree_verify_seconds,
-                "C-tree total": ctree_total,
-                "GraphGrep search": result.graphgrep_search_seconds,
-                "GraphGrep verify": result.graphgrep_verify_seconds,
-                "GraphGrep total": gg_total,
-            },
-            float_format="{:.4f}",
-        ),
+        "Fig 8(b): per-query time, search + verification (seconds)",
+        "query size",
+        result.query_sizes,
+        {
+            "C-tree search": result.ctree_search_seconds,
+            "C-tree verify": result.ctree_verify_seconds,
+            "C-tree total": ctree_total,
+            "GraphGrep search": result.graphgrep_search_seconds,
+            "GraphGrep verify": result.graphgrep_verify_seconds,
+            "GraphGrep total": gg_total,
+        },
+        float_format="{:.4f}",
     )
     # The paper's claim that holds independent of constant factors:
     # C-tree's *verification* time never exceeds GraphGrep's, because its

@@ -5,27 +5,23 @@ GraphGrep's with ~100% accuracy (a), and the access ratio again falls with
 query size, tracked by the cost-model estimate (b).
 """
 
-from conftest import record_table
-
-from repro.experiments.reporting import format_series_table
+from conftest import record_figure
 
 
 def test_fig9a_synthetic_candidates(synth_sweep, benchmark):
     result = synth_sweep
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    record_table(
+    record_figure(
         "fig9a_synthetic_candidates",
-        format_series_table(
-            "Fig 9(a): candidate / answer set size vs query size (synthetic)",
-            "query size",
-            result.query_sizes,
-            {
-                "Answer set": result.answers,
-                "C-tree level=1": result.ctree_candidates[1],
-                "GraphGrep": result.graphgrep_candidates,
-            },
-            float_format="{:.1f}",
-        ),
+        "Fig 9(a): candidate / answer set size vs query size (synthetic)",
+        "query size",
+        result.query_sizes,
+        {
+            "Answer set": result.answers,
+            "C-tree level=1": result.ctree_candidates[1],
+            "GraphGrep": result.graphgrep_candidates,
+        },
+        float_format="{:.1f}",
     )
     for i in range(len(result.query_sizes)):
         assert result.ctree_candidates[1][i] >= result.answers[i] - 1e-9
@@ -42,17 +38,15 @@ def test_fig9a_synthetic_candidates(synth_sweep, benchmark):
 def test_fig9b_synthetic_access_ratio(synth_sweep, benchmark):
     result = synth_sweep
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    record_table(
+    record_figure(
         "fig9b_synthetic_access_ratio",
-        format_series_table(
-            "Fig 9(b): access ratio gamma vs query size (synthetic)",
-            "query size",
-            result.query_sizes,
-            {
-                "C-tree (actual)": result.access_ratio,
-                "Estimated (Sec 6.3)": result.access_ratio_estimated,
-            },
-        ),
+        "Fig 9(b): access ratio gamma vs query size (synthetic)",
+        "query size",
+        result.query_sizes,
+        {
+            "C-tree (actual)": result.access_ratio,
+            "Estimated (Sec 6.3)": result.access_ratio_estimated,
+        },
     )
     assert result.access_ratio[-1] <= result.access_ratio[0] + 1e-9
     assert all(e > 0 for e in result.access_ratio_estimated)

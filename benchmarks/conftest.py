@@ -3,17 +3,24 @@
 Every ``bench_figN_*.py`` regenerates one figure of the paper's evaluation
 section at laptop scale.  Expensive sweeps run once per session in fixtures;
 the rendered tables are printed and written to ``benchmarks/results/`` so a
-benchmark run leaves the reproduced figures on disk.
+benchmark run leaves the reproduced figures on disk.  Figures recorded with
+:func:`record_figure` are additionally collected and written at session end
+as machine-readable telemetry to ``BENCH_ctree.json`` at the repo root
+(schema: ``{"schema": ..., "quick": ..., "figures": {name: series dict}}``).
 
 Scale: the paper used |D| = 10,000 and 1000 queries per point on 2006-era
 C++/Java.  Pure Python pays ~100x on the isomorphism inner loops, so the
 defaults here use a few hundred graphs and a handful of queries per point —
 enough to reproduce every curve's *shape*.  EXPERIMENTS.md maps each scaled
-setting to the paper's.
+setting to the paper's.  ``--quick`` shrinks every workload further (CI
+smoke scale: tens of graphs, 2-3 queries per point); curve *orderings*
+still hold there, but magnitudes are not meaningful.
 """
 
 from __future__ import annotations
 
+import json
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -24,9 +31,13 @@ from repro.experiments.config import (
     MappingQualityConfig,
     SubgraphExperimentConfig,
 )
+from repro.experiments.reporting import format_series_table, series_to_dict
 from repro.experiments.subgraph_experiments import run_query_sweep
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_ctree.json"
+BENCH_SCHEMA = "ctree-bench-v1"
 
 #: Fig. 7-8 workload (chemical-like dataset).
 CHEM_SWEEP = SubgraphExperimentConfig(
@@ -69,12 +80,87 @@ KNN = KnnExperimentConfig(
     seed=13,
 )
 
+_QUICK = False
+#: figure name -> JSON-able series dict, flushed to BENCH_ctree.json
+_FIGURES: dict[str, dict] = {}
 
-def record_table(name: str, text: str) -> None:
-    """Print a rendered figure table and persist it under results/."""
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads to CI smoke scale",
+    )
+
+
+def pytest_configure(config):
+    global _QUICK, CHEM_SWEEP, SYNTH_SWEEP, INDEX_SIZE, MAPPING_QUALITY, KNN
+    if not config.getoption("--quick", default=False):
+        return
+    _QUICK = True
+    # Rebinding here (before collection) means both the fixtures below and
+    # the bench modules' ``from conftest import CHEM_SWEEP`` see the
+    # shrunk configs.
+    CHEM_SWEEP = replace(
+        CHEM_SWEEP, database_size=60, queries_per_size=3,
+        query_sizes=(5, 10, 15),
+    )
+    SYNTH_SWEEP = replace(
+        SYNTH_SWEEP, database_size=50, queries_per_size=3,
+        query_sizes=(5, 10, 15),
+    )
+    INDEX_SIZE = replace(INDEX_SIZE, database_sizes=(30, 60))
+    MAPPING_QUALITY = replace(
+        MAPPING_QUALITY, group_size=10, database_size=60
+    )
+    KNN = replace(KNN, database_size=60, ks=(1, 2, 5, 10), queries=3)
+
+
+def record_table(name: str, text: str, data: dict | None = None) -> None:
+    """Print a rendered figure table and persist it under results/.
+
+    ``data``, when given, must be a JSON-able dict (conventionally a
+    :func:`~repro.experiments.reporting.series_to_dict` payload); it is
+    collected into ``BENCH_ctree.json`` at session end under ``name``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        _FIGURES[name] = data
     print(f"\n{text}\n[written to benchmarks/results/{name}.txt]")
+
+
+def record_figure(
+    name: str,
+    title: str,
+    x_name: str,
+    xs,
+    series,
+    float_format: str = "{:.3f}",
+) -> None:
+    """Record one figure both ways: ASCII table + machine-readable dict."""
+    record_table(
+        name,
+        format_series_table(title, x_name, xs, series,
+                            float_format=float_format),
+        data=series_to_dict(title, x_name, xs, series),
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _FIGURES:
+        return
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "quick": _QUICK,
+        "figures": {name: _FIGURES[name] for name in sorted(_FIGURES)},
+    }
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n[benchmark telemetry written to {BENCH_JSON}]")
 
 
 @pytest.fixture(scope="session")

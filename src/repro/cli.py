@@ -7,7 +7,11 @@ Gives the library's main workflows a shell-level surface:
   or a page-file disk index);
 - ``query``    — run a subgraph query against a saved index;
 - ``knn`` / ``range`` — similarity queries against a saved index;
-- ``info``     — statistics of a database or saved index.
+- ``info``     — statistics of a database or saved index;
+- ``trace``    — run a subgraph query with span tracing on, writing a
+  JSONL trace (or summarize an existing trace file);
+- ``metrics``  — run a subgraph query and dump the metrics-registry
+  delta it caused as JSON.
 
 Graphs on the command line are JSON, either inline or ``@file``:
 
@@ -33,6 +37,8 @@ from repro.ctree.similarity_query import knn_query, range_query
 from repro.ctree.subgraph_query import subgraph_query
 from repro.datasets.chemical import generate_chemical_database
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_database
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import global_registry
 
 
 def _parse_level(text: str):
@@ -164,6 +170,61 @@ def cmd_range(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_subgraph_query(args: argparse.Namespace):
+    """Shared query runner for ``query``/``trace``/``metrics``."""
+    query = _load_query_graph(args.query)
+    index = _open_index(args.tree, args.cache_pages)
+    try:
+        if isinstance(index, DiskCTree):
+            return index.subgraph_query(
+                query, level=args.level, verify=not args.no_verify
+            )
+        return subgraph_query(
+            index, query, level=args.level, verify=not args.no_verify
+        )
+    finally:
+        if isinstance(index, DiskCTree):
+            index.close()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.input:
+        print(obs_trace.format_trace_summary(obs_trace.read_jsonl(args.input)))
+        return 0
+    if not (args.tree and args.query):
+        raise SystemExit(
+            "error: provide -t/-q to run a traced query, "
+            "or -i to summarize an existing trace file"
+        )
+    sink = obs_trace.JsonlSink(args.out)
+    with obs_trace.tracing(sink):
+        answers, stats = _run_subgraph_query(args)
+    print(f"wrote {sink.count} spans to {args.out}")
+    print(
+        f"|CS|={stats.candidates} |Ans|={stats.answers} "
+        f"gamma={stats.access_ratio:.2f} "
+        f"search={stats.search_seconds:.3f}s verify={stats.verify_seconds:.3f}s"
+    )
+    if args.summary:
+        print()
+        print(obs_trace.format_trace_summary(obs_trace.read_jsonl(args.out)))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    registry = global_registry()
+    before = registry.snapshot()
+    _run_subgraph_query(args)
+    payload = registry.snapshot() if args.cumulative else registry.diff(before)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {len(payload)} metrics to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     path = args.input
     if path.endswith(".ctp"):
@@ -256,6 +317,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-q", "--query", required=True)
     p.add_argument("-r", "--radius", type=float, required=True)
     p.set_defaults(func=cmd_range)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a subgraph query with span tracing (JSONL output)",
+    )
+    p.add_argument("-t", "--tree",
+                   help="*.json snapshot or *.ctp disk index")
+    p.add_argument("-q", "--query",
+                   help="query graph as JSON, or @file.json")
+    p.add_argument("-i", "--input",
+                   help="summarize an existing trace file instead of querying")
+    p.add_argument("-o", "--out", default="trace.jsonl",
+                   help="trace output path (default: trace.jsonl)")
+    p.add_argument("--summary", action="store_true",
+                   help="print the flame-style per-phase summary")
+    p.add_argument("--level", type=_parse_level, default=1)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a subgraph query and dump the metrics delta as JSON",
+    )
+    p.add_argument("-t", "--tree", required=True,
+                   help="*.json snapshot or *.ctp disk index")
+    p.add_argument("-q", "--query", required=True,
+                   help="query graph as JSON, or @file.json")
+    p.add_argument("-o", "--output",
+                   help="write JSON here instead of stdout")
+    p.add_argument("--cumulative", action="store_true",
+                   help="dump the full registry instead of the query delta")
+    p.add_argument("--level", type=_parse_level, default=1)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("info", help="statistics of a database or index")
     p.add_argument("-i", "--input", required=True,

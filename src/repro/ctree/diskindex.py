@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
 from repro.exceptions import PersistenceError
 from repro.graphs.closure import GraphClosure
 from repro.graphs.graph import Graph
@@ -33,8 +32,9 @@ from repro.matching.pseudo_iso import (
     pseudo_compatibility_domains,
 )
 from repro.matching.ullmann import subgraph_isomorphic
+from repro.obs import trace
 from repro.ctree.node import CTreeNode, LeafEntry
-from repro.ctree.stats import KnnStats, QueryStats
+from repro.ctree.stats import CounterField, KnnStats, QueryStats
 from repro.ctree.tree import CTree
 from repro.storage.bufferpool import BufferPool
 from repro.storage.pagefile import PageFile, PathLike
@@ -43,12 +43,20 @@ from repro.storage.recordstore import RecordStore
 _FORMAT = 1
 
 
-@dataclass
 class DiskQueryStats(QueryStats):
     """Query counters plus buffer-pool I/O deltas."""
 
-    page_hits: int = 0
-    page_misses: int = 0
+    page_hits = CounterField("ctree.query.page_hits")
+    page_misses = CounterField("ctree.query.page_misses")
+
+    _COUNTER_FIELDS = QueryStats._COUNTER_FIELDS + ("page_hits",
+                                                    "page_misses")
+
+    def __init__(self, page_hits: int = 0, page_misses: int = 0,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.page_hits = page_hits
+        self.page_misses = page_misses
 
     @property
     def page_hit_ratio(self) -> float:
@@ -56,12 +64,20 @@ class DiskQueryStats(QueryStats):
         return self.page_hits / total if total else 0.0
 
 
-@dataclass
 class DiskKnnStats(KnnStats):
     """K-NN counters plus buffer-pool I/O deltas."""
 
-    page_hits: int = 0
-    page_misses: int = 0
+    page_hits = CounterField("ctree.knn.page_hits")
+    page_misses = CounterField("ctree.knn.page_misses")
+
+    _COUNTER_FIELDS = KnnStats._COUNTER_FIELDS + ("page_hits",
+                                                  "page_misses")
+
+    def __init__(self, page_hits: int = 0, page_misses: int = 0,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.page_hits = page_hits
+        self.page_misses = page_misses
 
     @property
     def page_hit_ratio(self) -> float:
@@ -202,29 +218,45 @@ class DiskCTree:
         query_hist = LabelHistogram.of(query)
         candidates: list[tuple[int, int]] = []  # (graph_id, graph record)
 
-        start = time.perf_counter()
-        if len(self):
-            self._visit(
-                self._meta["root"], 0, query, query_hist, level,
-                candidates, stats,
-            )
-        stats.search_seconds = time.perf_counter() - start
-        stats.candidates = len(candidates)
+        with trace.span(
+            "ctree.subgraph_query",
+            query_vertices=query.num_vertices,
+            level=str(level),
+            database_size=len(self),
+            disk=True,
+        ) as root_span:
+            with trace.span("ctree.search"):
+                start = time.perf_counter()
+                if len(self):
+                    self._visit(
+                        self._meta["root"], 0, query, query_hist, level,
+                        candidates, stats,
+                    )
+                stats.search_seconds = time.perf_counter() - start
+            stats.candidates = len(candidates)
+            root_span.set(candidates=stats.candidates)
 
-        answers: list[int] = []
-        if verify:
-            start = time.perf_counter()
-            for graph_id, graph_record in candidates:
-                graph = self._load_graph(graph_record)
-                domains = pseudo_compatibility_domains(query, graph, level)
-                stats.isomorphism_tests += 1
-                if subgraph_isomorphic(query, graph, domains):
-                    answers.append(graph_id)
-            stats.verify_seconds = time.perf_counter() - start
-            stats.answers = len(answers)
+            answers: list[int] = []
+            if verify:
+                with trace.span("ctree.verify", candidates=len(candidates)):
+                    start = time.perf_counter()
+                    for graph_id, graph_record in candidates:
+                        graph = self._load_graph(graph_record)
+                        domains = pseudo_compatibility_domains(
+                            query, graph, level
+                        )
+                        stats.isomorphism_tests += 1
+                        if subgraph_isomorphic(query, graph, domains):
+                            answers.append(graph_id)
+                    stats.verify_seconds = time.perf_counter() - start
+                stats.answers = len(answers)
+                root_span.set(answers=stats.answers)
 
-        stats.page_hits = pool.hits - hits0
-        stats.page_misses = pool.misses - misses0
+            stats.page_hits = pool.hits - hits0
+            stats.page_misses = pool.misses - misses0
+            root_span.set(page_hits=stats.page_hits,
+                          page_misses=stats.page_misses)
+        stats.publish()
         return (answers if verify else [gid for gid, _ in candidates], stats)
 
     def _visit(
@@ -237,49 +269,54 @@ class DiskCTree:
         candidates: list,
         stats: DiskQueryStats,
     ) -> None:
-        record = self._load_record(record_id)
-        stats.nodes_expanded += 1
-        closure = GraphClosure.from_dict(record["closure"])
-        # On disk, the parent does not cache child histograms: the node's own
-        # histogram gates the whole subtree, then children are tested after
-        # being read — one histogram test + one pseudo test per child, like
-        # the in-memory Alg. 3 but at record granularity.
-        survivors_x = survivors_y = 0
-        if record["leaf"]:
-            for graph_id, graph_record in record.get("graphs", []):
+        with trace.span("ctree.expand", depth=depth, record=record_id) as sp:
+            record = self._load_record(record_id)
+            stats.nodes_expanded += 1
+            closure = GraphClosure.from_dict(record["closure"])
+            # On disk, the parent does not cache child histograms: the node's
+            # own histogram gates the whole subtree, then children are tested
+            # after being read — one histogram test + one pseudo test per
+            # child, like the in-memory Alg. 3 but at record granularity.
+            survivors_x = survivors_y = 0
+            if record["leaf"]:
+                for graph_id, graph_record in record.get("graphs", []):
+                    stats.histogram_tests += 1
+                    graph = self._load_graph(graph_record)
+                    if not LabelHistogram.of(graph).dominates(query_hist):
+                        continue
+                    survivors_x += 1
+                    stats.pseudo_tests += 1
+                    domains = pseudo_compatibility_domains(query, graph, level)
+                    if global_semi_perfect(domains, graph.num_vertices):
+                        survivors_y += 1
+                        stats.pseudo_survivors += 1
+                        candidates.append((graph_id, graph_record))
+                stats.record_level(depth, survivors_x, survivors_y)
+                sp.set(leaf=True, x=survivors_x, y=survivors_y)
+                return
+            descend = []
+            for child_record in record.get("children", []):
+                child = self._load_record(child_record)
+                child_closure = GraphClosure.from_dict(child["closure"])
                 stats.histogram_tests += 1
-                graph = self._load_graph(graph_record)
-                if not LabelHistogram.of(graph).dominates(query_hist):
+                if not LabelHistogram.of(child_closure).dominates(query_hist):
                     continue
                 survivors_x += 1
                 stats.pseudo_tests += 1
-                domains = pseudo_compatibility_domains(query, graph, level)
-                if global_semi_perfect(domains, graph.num_vertices):
+                domains = pseudo_compatibility_domains(
+                    query, child_closure, level
+                )
+                if global_semi_perfect(domains, child_closure.num_vertices):
                     survivors_y += 1
                     stats.pseudo_survivors += 1
-                    candidates.append((graph_id, graph_record))
+                    descend.append(child_record)
             stats.record_level(depth, survivors_x, survivors_y)
-            return
-        descend = []
-        for child_record in record.get("children", []):
-            child = self._load_record(child_record)
-            child_closure = GraphClosure.from_dict(child["closure"])
-            stats.histogram_tests += 1
-            if not LabelHistogram.of(child_closure).dominates(query_hist):
-                continue
-            survivors_x += 1
-            stats.pseudo_tests += 1
-            domains = pseudo_compatibility_domains(query, child_closure, level)
-            if global_semi_perfect(domains, child_closure.num_vertices):
-                survivors_y += 1
-                stats.pseudo_survivors += 1
-                descend.append(child_record)
-        stats.record_level(depth, survivors_x, survivors_y)
-        for child_record in descend:
-            self._visit(
-                child_record, depth + 1, query, query_hist, level,
-                candidates, stats,
-            )
+            sp.set(leaf=False, x=survivors_x, y=survivors_y)
+            for child_record in descend:
+                self._visit(
+                    child_record, depth + 1, query, query_hist, level,
+                    candidates, stats,
+                )
 
     # ------------------------------------------------------------------
     # K-NN over disk-resident nodes (Alg. 4 with deferred exact scoring)
@@ -309,78 +346,93 @@ class DiskCTree:
         if k <= 0 or len(self) == 0:
             return ([], stats)
 
-        start = time.perf_counter()
-        counter = itertools.count()
-        _NODE, _GRAPH_BOUND, _GRAPH_EXACT = 0, 1, 2
-        heap: list[tuple[float, int, int, object]] = []
-        heapq.heappush(heap, (0.0, next(counter), _NODE, self._meta["root"]))
+        with trace.span("ctree.knn_query", k=k, database_size=len(self),
+                        disk=True) as root_span:
+            start = time.perf_counter()
+            counter = itertools.count()
+            _NODE, _GRAPH_BOUND, _GRAPH_EXACT = 0, 1, 2
+            heap: list[tuple[float, int, int, object]] = []
+            heapq.heappush(heap,
+                           (0.0, next(counter), _NODE, self._meta["root"]))
 
-        best_k: list[float] = []
-        lower_bound = float("-inf")
+            best_k: list[float] = []
+            lower_bound = float("-inf")
 
-        def note_similarity(sim: float) -> None:
-            nonlocal lower_bound
-            if len(best_k) < k:
-                heapq.heappush(best_k, sim)
-            else:
-                heapq.heappushpop(best_k, sim)
-            if len(best_k) >= k:
-                lower_bound = best_k[0]
-
-        results: list[tuple[int, float]] = []
-        while heap and len(results) < k:
-            neg_key, _, kind, payload = heapq.heappop(heap)
-            if -neg_key < lower_bound:
-                stats.pruned_by_bound += 1
-                continue
-            if kind == _GRAPH_EXACT:
-                results.append(payload)  # type: ignore[arg-type]
-                stats.results += 1
-            elif kind == _GRAPH_BOUND:
-                graph_id, graph_record = payload  # type: ignore[misc]
-                graph = self._load_graph(graph_record)
-                stats.graphs_scored += 1
-                sim = graph_similarity(query, graph, method=mapping_method)
-                note_similarity(sim)
-                if sim >= lower_bound:
-                    heapq.heappush(
-                        heap,
-                        (-sim, next(counter), _GRAPH_EXACT, (graph_id, sim)),
-                    )
+            def note_similarity(sim: float) -> None:
+                nonlocal lower_bound
+                if len(best_k) < k:
+                    heapq.heappush(best_k, sim)
                 else:
+                    heapq.heappushpop(best_k, sim)
+                if len(best_k) >= k:
+                    lower_bound = best_k[0]
+
+            results: list[tuple[int, float]] = []
+            while heap and len(results) < k:
+                neg_key, _, kind, payload = heapq.heappop(heap)
+                if -neg_key < lower_bound:
                     stats.pruned_by_bound += 1
-            else:
-                record = self._load_record(payload)  # type: ignore[arg-type]
-                stats.nodes_expanded += 1
-                if record["leaf"]:
-                    for graph_id, graph_record in record.get("graphs", []):
-                        stats.children_scored += 1
-                        graph = self._load_graph(graph_record)
-                        bound = sim_upper_bound(query, graph)
-                        if bound < lower_bound:
-                            stats.pruned_by_bound += 1
-                            continue
+                    continue
+                if kind == _GRAPH_EXACT:
+                    results.append(payload)  # type: ignore[arg-type]
+                    stats.results += 1
+                elif kind == _GRAPH_BOUND:
+                    graph_id, graph_record = payload  # type: ignore[misc]
+                    graph = self._load_graph(graph_record)
+                    stats.graphs_scored += 1
+                    with trace.span("ctree.knn.score", graph_id=graph_id):
+                        sim = graph_similarity(query, graph,
+                                               method=mapping_method)
+                    note_similarity(sim)
+                    if sim >= lower_bound:
                         heapq.heappush(
                             heap,
-                            (-bound, next(counter), _GRAPH_BOUND,
-                             (graph_id, graph_record)),
+                            (-sim, next(counter), _GRAPH_EXACT,
+                             (graph_id, sim)),
                         )
+                    else:
+                        stats.pruned_by_bound += 1
                 else:
-                    for child_record in record.get("children", []):
-                        stats.children_scored += 1
-                        child = self._load_record(child_record)
-                        closure = GraphClosure.from_dict(child["closure"])
-                        bound = sim_upper_bound(query, closure)
-                        if bound < lower_bound:
-                            stats.pruned_by_bound += 1
-                            continue
-                        heapq.heappush(
-                            heap, (-bound, next(counter), _NODE, child_record)
-                        )
+                    with trace.span("ctree.knn.expand") as sp:
+                        record = self._load_record(payload)  # type: ignore[arg-type]
+                        stats.nodes_expanded += 1
+                        if record["leaf"]:
+                            for graph_id, graph_record in record.get(
+                                    "graphs", []):
+                                stats.children_scored += 1
+                                graph = self._load_graph(graph_record)
+                                bound = sim_upper_bound(query, graph)
+                                if bound < lower_bound:
+                                    stats.pruned_by_bound += 1
+                                    continue
+                                heapq.heappush(
+                                    heap,
+                                    (-bound, next(counter), _GRAPH_BOUND,
+                                     (graph_id, graph_record)),
+                                )
+                        else:
+                            for child_record in record.get("children", []):
+                                stats.children_scored += 1
+                                child = self._load_record(child_record)
+                                closure = GraphClosure.from_dict(
+                                    child["closure"])
+                                bound = sim_upper_bound(query, closure)
+                                if bound < lower_bound:
+                                    stats.pruned_by_bound += 1
+                                    continue
+                                heapq.heappush(
+                                    heap,
+                                    (-bound, next(counter), _NODE,
+                                     child_record),
+                                )
+                        sp.set(leaf=record["leaf"])
 
-        stats.seconds = time.perf_counter() - start
-        stats.page_hits = pool.hits - hits0
-        stats.page_misses = pool.misses - misses0
+            stats.seconds = time.perf_counter() - start
+            stats.page_hits = pool.hits - hits0
+            stats.page_misses = pool.misses - misses0
+            root_span.set(results=len(results), page_hits=stats.page_hits,
+                          page_misses=stats.page_misses)
+        stats.publish()
         return (results, stats)
 
     # ------------------------------------------------------------------

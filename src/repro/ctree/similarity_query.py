@@ -29,6 +29,7 @@ from repro.matching.bounds import (
 )
 from repro.matching.edit_distance import graph_distance, graph_similarity
 from repro.matching.measures import edge_label_sets, vertex_label_sets
+from repro.obs import trace
 from repro.ctree.node import CTreeNode, LeafEntry
 from repro.ctree.stats import KnnStats
 from repro.ctree.tree import CTree
@@ -49,8 +50,24 @@ def knn_query(
     stats = KnnStats(database_size=len(tree))
     if k <= 0 or len(tree) == 0:
         return ([], stats)
-    start = time.perf_counter()
+    with trace.span("ctree.knn_query", k=k, database_size=len(tree),
+                    mapping=mapping_method) as root_span:
+        start = time.perf_counter()
+        results = _knn_search(tree, query, k, mapping_method, stats)
+        stats.seconds = time.perf_counter() - start
+        root_span.set(results=len(results))
+    stats.publish()
+    return (results, stats)
 
+
+def _knn_search(
+    tree: CTree,
+    query: Graph,
+    k: int,
+    mapping_method: str,
+    stats: KnnStats,
+) -> list[tuple[int, float]]:
+    """The incremental-ranking heap loop of Algorithm 4."""
     counter = itertools.count()
     # Max-heap via negated keys.  Entries: (-key, tiebreak, kind, payload)
     # with kind one of _NODE (key = closure similarity bound), _GRAPH_BOUND
@@ -89,7 +106,9 @@ def knn_query(
             entry = payload
             assert isinstance(entry, LeafEntry)
             stats.graphs_scored += 1
-            sim = graph_similarity(query, entry.graph, method=mapping_method)
+            with trace.span("ctree.knn.score", graph_id=entry.graph_id):
+                sim = graph_similarity(query, entry.graph,
+                                       method=mapping_method)
             note_similarity(sim)
             if sim >= lower_bound:
                 heapq.heappush(
@@ -102,23 +121,26 @@ def knn_query(
             node = payload
             assert isinstance(node, CTreeNode)
             stats.nodes_expanded += 1
-            for child in node.children:
-                stats.children_scored += 1
-                bound = sim_upper_bound(
-                    query, CTreeNode.child_graph_like(child)
-                )
-                if bound < lower_bound:
-                    stats.pruned_by_bound += 1
-                    continue
-                if isinstance(child, LeafEntry):
-                    heapq.heappush(
-                        heap, (-bound, next(counter), _GRAPH_BOUND, child)
+            with trace.span("ctree.knn.expand") as sp:
+                for child in node.children:
+                    stats.children_scored += 1
+                    bound = sim_upper_bound(
+                        query, CTreeNode.child_graph_like(child)
                     )
-                else:
-                    heapq.heappush(heap, (-bound, next(counter), _NODE, child))
+                    if bound < lower_bound:
+                        stats.pruned_by_bound += 1
+                        continue
+                    if isinstance(child, LeafEntry):
+                        heapq.heappush(
+                            heap, (-bound, next(counter), _GRAPH_BOUND, child)
+                        )
+                    else:
+                        heapq.heappush(
+                            heap, (-bound, next(counter), _NODE, child)
+                        )
+                sp.set(fanout=len(node.children))
 
-    stats.seconds = time.perf_counter() - start
-    return (results, stats)
+    return results
 
 
 def range_query(
@@ -141,28 +163,33 @@ def range_query(
         stats.seconds = time.perf_counter() - start
         return (results, stats)
 
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        stats.nodes_expanded += 1
-        for child in node.children:
-            stats.children_scored += 1
-            if isinstance(child, LeafEntry):
-                stats.graphs_scored += 1
-                dist = graph_distance(query, child.graph, method=mapping_method)
-                if dist <= radius:
-                    results.append((child.graph_id, dist))
-                    stats.results += 1
-            else:
-                assert child.closure is not None
-                bound = closure_distance_lower_bound(query, child.closure)
-                if bound > radius:
-                    stats.pruned_by_bound += 1
-                    continue
-                stack.append(child)
+    with trace.span("ctree.range_query", radius=radius,
+                    database_size=len(tree)) as root_span:
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            stats.nodes_expanded += 1
+            for child in node.children:
+                stats.children_scored += 1
+                if isinstance(child, LeafEntry):
+                    stats.graphs_scored += 1
+                    dist = graph_distance(query, child.graph,
+                                          method=mapping_method)
+                    if dist <= radius:
+                        results.append((child.graph_id, dist))
+                        stats.results += 1
+                else:
+                    assert child.closure is not None
+                    bound = closure_distance_lower_bound(query, child.closure)
+                    if bound > radius:
+                        stats.pruned_by_bound += 1
+                        continue
+                    stack.append(child)
+        root_span.set(results=len(results))
 
     results.sort(key=lambda t: (t[1], t[0]))
     stats.seconds = time.perf_counter() - start
+    stats.publish()
     return (results, stats)
 
 

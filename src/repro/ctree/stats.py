@@ -5,67 +5,159 @@ aggregates them into the paper's reported quantities: candidate set size
 ``|CS|``, answer set size ``|Ans|``, accuracy ``|Ans|/|CS|``, access ratio
 ``γ = R / |D|``, and search/verification time split.  The per-level
 ``x(i)``/``y(i)`` counts feed the Section 6.3 cost model.
+
+Stats objects are thin attribute views over a per-instance
+:class:`~repro.obs.metrics.MetricsRegistry`: reading ``stats.pseudo_tests``
+reads the registry counter ``ctree.query.pseudo_tests`` and ``+=`` writes
+it back, so the same numbers are available both as plain attributes (the
+historical API, unchanged) and as a metrics snapshot
+(``stats.registry.snapshot()`` / ``stats.to_dict()``).  Query processors
+call :meth:`publish` on completion to fold a query's counters into the
+process-wide registry that ``repro metrics`` reports.
+
+.. _gamma-accounting:
+
+**γ accounting convention.**  The paper's access ratio is ``γ = R / |D|``
+where ``R`` counts the tree nodes and database graphs *visited and
+tested* during the search phase.  Throughout this library "visited and
+tested" means: the child survived the histogram screen and therefore had
+pseudo subgraph isomorphism evaluated against it — i.e. ``R`` is
+:attr:`QueryStats.pseudo_tests` (children merely histogram-screened are
+*not* counted, matching Section 6.3, where the cost model prices exactly
+the pseudo-iso evaluations).  For K-NN queries (Fig. 11a) the analogous
+``R`` is ``nodes_expanded + graphs_scored``: every node popped and
+expanded from the priority queue plus every database graph whose
+similarity was actually computed.  Denominator guards are uniform: a
+non-positive ``|D|`` yields ``γ = 0.0`` and a non-positive ``|CS|``
+yields accuracy ``1.0`` (an empty candidate set is vacuously accurate).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, global_registry
 
 
-@dataclass
+class CounterField:
+    """A descriptor exposing a registry counter as a plain attribute.
+
+    ``obj.field`` reads ``obj.registry.counter(metric).value``;
+    assignment (including ``+=``) writes it back.  This is what makes a
+    stats object a *view* over its registry rather than a copy.
+    """
+
+    __slots__ = ("metric",)
+
+    def __init__(self, metric: str) -> None:
+        self.metric = metric
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.registry.counter(self.metric).value
+
+    def __set__(self, obj, value) -> None:
+        obj.registry.counter(self.metric).value = value
+
+
 class QueryStats:
-    """Counters for one query execution."""
+    """Counters for one subgraph-query execution.
 
-    database_size: int = 0
+    Constructor keywords mirror the attribute names (the historical
+    dataclass signature); all counter attributes are registry-backed
+    views (see module docstring).
+    """
+
+    #: total database size |D|
+    database_size = CounterField("ctree.query.database_size")
     #: children tested against the query histogram
-    histogram_tests: int = 0
+    histogram_tests = CounterField("ctree.query.histogram_tests")
     #: children surviving the histogram test (= pseudo-iso tests run); the
-    #: paper's R counts these "visited and tested" nodes and graphs
-    pseudo_tests: int = 0
-    #: children surviving the pseudo test (descended into, or made candidates)
-    pseudo_survivors: int = 0
+    #: paper's R counts these "visited and tested" nodes and graphs — see
+    #: the γ accounting convention in the module docstring
+    pseudo_tests = CounterField("ctree.query.pseudo_tests")
+    #: children surviving the pseudo test (descended into, or candidates)
+    pseudo_survivors = CounterField("ctree.query.pseudo_survivors")
     #: internal nodes whose children were scanned
-    nodes_expanded: int = 0
-    candidates: int = 0
-    answers: int = 0
+    nodes_expanded = CounterField("ctree.query.nodes_expanded")
+    candidates = CounterField("ctree.query.candidates")
+    answers = CounterField("ctree.query.answers")
     #: exact isomorphism tests run in the verification phase
-    isomorphism_tests: int = 0
-    search_seconds: float = 0.0
-    verify_seconds: float = 0.0
-    #: per-depth sums: x_by_level[i] = children surviving histogram at depth i
-    x_by_level: list[int] = field(default_factory=list)
-    #: per-depth sums: y_by_level[i] = children surviving pseudo at depth i
-    y_by_level: list[int] = field(default_factory=list)
-    #: per-depth count of expanded nodes (to average x, y per node)
-    nodes_by_level: list[int] = field(default_factory=list)
+    isomorphism_tests = CounterField("ctree.query.isomorphism_tests")
+    search_seconds = CounterField("ctree.query.search_seconds")
+    verify_seconds = CounterField("ctree.query.verify_seconds")
+
+    #: the counter attributes above, in declaration order
+    _COUNTER_FIELDS = (
+        "database_size", "histogram_tests", "pseudo_tests",
+        "pseudo_survivors", "nodes_expanded", "candidates", "answers",
+        "isomorphism_tests", "search_seconds", "verify_seconds",
+    )
+    #: counters merged by max instead of sum (workload-level aggregation)
+    _MAX_FIELDS = ("database_size",)
+    #: published to the global registry as a per-query histogram
+    _HISTOGRAM_FIELDS = ("candidates", "search_seconds", "verify_seconds")
+
+    def __init__(
+        self,
+        database_size: int = 0,
+        histogram_tests: int = 0,
+        pseudo_tests: int = 0,
+        pseudo_survivors: int = 0,
+        nodes_expanded: int = 0,
+        candidates: int = 0,
+        answers: int = 0,
+        isomorphism_tests: int = 0,
+        search_seconds: float = 0.0,
+        verify_seconds: float = 0.0,
+        x_by_level: Optional[list[int]] = None,
+        y_by_level: Optional[list[int]] = None,
+        nodes_by_level: Optional[list[int]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.database_size = database_size
+        self.histogram_tests = histogram_tests
+        self.pseudo_tests = pseudo_tests
+        self.pseudo_survivors = pseudo_survivors
+        self.nodes_expanded = nodes_expanded
+        self.candidates = candidates
+        self.answers = answers
+        self.isomorphism_tests = isomorphism_tests
+        self.search_seconds = search_seconds
+        self.verify_seconds = verify_seconds
+        #: per-depth sums: x_by_level[i] = children surviving histogram at i
+        self.x_by_level: list[int] = list(x_by_level or [])
+        #: per-depth sums: y_by_level[i] = children surviving pseudo at i
+        self.y_by_level: list[int] = list(y_by_level or [])
+        #: per-depth count of expanded nodes (to average x, y per node)
+        self.nodes_by_level: list[int] = list(nodes_by_level or [])
 
     # ------------------------------------------------------------------
-    def record_level(self, depth: int, x: int, y: int) -> None:
-        """Record one expanded node at ``depth`` with ``x`` histogram
-        survivors and ``y`` pseudo survivors among its children."""
+    def record_level(self, depth: int, x: int, y: int, nodes: int = 1) -> None:
+        """Record ``nodes`` expanded node(s) at ``depth`` contributing
+        ``x`` histogram survivors and ``y`` pseudo survivors in total."""
         while len(self.x_by_level) <= depth:
             self.x_by_level.append(0)
             self.y_by_level.append(0)
             self.nodes_by_level.append(0)
         self.x_by_level[depth] += x
         self.y_by_level[depth] += y
-        self.nodes_by_level[depth] += 1
+        self.nodes_by_level[depth] += nodes
 
     @property
     def access_ratio(self) -> float:
-        """γ: fraction of the database 'visited' (R / |D|).
-
-        R counts nodes and database graphs tested by pseudo subgraph
-        isomorphism, matching the paper's Section 6.3 accounting.
-        """
-        if self.database_size == 0:
+        """γ = R / |D| with R = :attr:`pseudo_tests` (see the
+        γ accounting convention in the module docstring)."""
+        if self.database_size <= 0:
             return 0.0
         return self.pseudo_tests / self.database_size
 
     @property
     def accuracy(self) -> float:
         """α = |Ans| / |CS| (1.0 for an empty candidate set)."""
-        if self.candidates == 0:
+        if self.candidates <= 0:
             return 1.0
         return self.answers / self.candidates
 
@@ -74,44 +166,139 @@ class QueryStats:
         return self.search_seconds + self.verify_seconds
 
     def merge(self, other: "QueryStats") -> None:
-        """Accumulate another query's counters into this one (for averaging
-        across a workload)."""
-        self.database_size = max(self.database_size, other.database_size)
-        self.histogram_tests += other.histogram_tests
-        self.pseudo_tests += other.pseudo_tests
-        self.pseudo_survivors += other.pseudo_survivors
-        self.nodes_expanded += other.nodes_expanded
-        self.candidates += other.candidates
-        self.answers += other.answers
-        self.isomorphism_tests += other.isomorphism_tests
-        self.search_seconds += other.search_seconds
-        self.verify_seconds += other.verify_seconds
+        """Accumulate another query's counters into this one (for
+        averaging across a workload)."""
+        for name in self._COUNTER_FIELDS:
+            if name in self._MAX_FIELDS:
+                setattr(self, name, max(getattr(self, name),
+                                        getattr(other, name)))
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
         for depth in range(len(other.x_by_level)):
             self.record_level(
-                depth, other.x_by_level[depth], other.y_by_level[depth]
+                depth,
+                other.x_by_level[depth],
+                other.y_by_level[depth],
+                nodes=other.nodes_by_level[depth],
             )
-            # record_level bumped nodes_by_level by 1; fix to the real count
-            self.nodes_by_level[depth] += other.nodes_by_level[depth] - 1
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All counters, derived ratios, and per-level series as a
+        JSON-able dict."""
+        out = {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+        out["access_ratio"] = self.access_ratio
+        out["accuracy"] = self.accuracy
+        out["total_seconds"] = self.total_seconds
+        out["x_by_level"] = list(self.x_by_level)
+        out["y_by_level"] = list(self.y_by_level)
+        out["nodes_by_level"] = list(self.nodes_by_level)
+        return out
+
+    def publish(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Fold this query's counters into ``registry`` (default: the
+        process-wide one) and observe per-query histograms."""
+        target = registry if registry is not None else global_registry()
+        for metric in self.registry:
+            if metric.name.endswith(".database_size"):
+                continue  # |D| is a property of the index, not a cost
+            target.counter(metric.name).inc(metric.value)
+        cls = type(self).__mro__[-2]  # prefix owner: QueryStats or KnnStats
+        prefix = cls._COUNT_METRIC.rsplit(".", 1)[0]
+        target.counter(cls._COUNT_METRIC).inc()
+        for name in self._HISTOGRAM_FIELDS:
+            target.histogram(f"{prefix}.per_query.{name}").observe(
+                getattr(self, name)
+            )
+
+    _COUNT_METRIC = "ctree.query.count"
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._COUNTER_FIELDS
+        )
+        return f"{type(self).__name__}({parts})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QueryStats):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
 
 
-@dataclass
 class KnnStats:
-    """Counters for one K-NN or range query."""
+    """Counters for one K-NN or range query (same registry-view design
+    as :class:`QueryStats`; γ convention in the module docstring)."""
 
-    database_size: int = 0
-    nodes_expanded: int = 0
+    database_size = CounterField("ctree.knn.database_size")
+    nodes_expanded = CounterField("ctree.knn.nodes_expanded")
     #: children whose similarity bound / distance was evaluated
-    children_scored: int = 0
+    children_scored = CounterField("ctree.knn.children_scored")
     #: database graphs whose (approximate) similarity was computed
-    graphs_scored: int = 0
-    pruned_by_bound: int = 0
-    results: int = 0
-    seconds: float = 0.0
+    graphs_scored = CounterField("ctree.knn.graphs_scored")
+    pruned_by_bound = CounterField("ctree.knn.pruned_by_bound")
+    results = CounterField("ctree.knn.results")
+    seconds = CounterField("ctree.knn.seconds")
+
+    _COUNTER_FIELDS = (
+        "database_size", "nodes_expanded", "children_scored",
+        "graphs_scored", "pruned_by_bound", "results", "seconds",
+    )
+    _MAX_FIELDS = ("database_size",)
+    _HISTOGRAM_FIELDS = ("graphs_scored", "seconds")
+    _COUNT_METRIC = "ctree.knn.count"
+
+    def __init__(
+        self,
+        database_size: int = 0,
+        nodes_expanded: int = 0,
+        children_scored: int = 0,
+        graphs_scored: int = 0,
+        pruned_by_bound: int = 0,
+        results: int = 0,
+        seconds: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.database_size = database_size
+        self.nodes_expanded = nodes_expanded
+        self.children_scored = children_scored
+        self.graphs_scored = graphs_scored
+        self.pruned_by_bound = pruned_by_bound
+        self.results = results
+        self.seconds = seconds
 
     @property
     def access_ratio(self) -> float:
         """Fraction of database 'accessed': nodes expanded plus graphs
-        scored, over |D| (the paper's K-NN access ratio, Fig. 11a)."""
-        if self.database_size == 0:
+        scored, over |D| (the paper's K-NN access ratio, Fig. 11a; see
+        the γ accounting convention in the module docstring)."""
+        if self.database_size <= 0:
             return 0.0
         return (self.nodes_expanded + self.graphs_scored) / self.database_size
+
+    def merge(self, other: "KnnStats") -> None:
+        """Accumulate another query's counters (for workload averages)."""
+        for name in self._COUNTER_FIELDS:
+            if name in self._MAX_FIELDS:
+                setattr(self, name, max(getattr(self, name),
+                                        getattr(other, name)))
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def to_dict(self) -> dict:
+        out = {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+        out["access_ratio"] = self.access_ratio
+        return out
+
+    publish = QueryStats.publish
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._COUNTER_FIELDS
+        )
+        return f"{type(self).__name__}({parts})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, KnnStats):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()

@@ -12,7 +12,11 @@ Two phases:
    (the acceleration noted in the paper).
 
 Returns the answer ids plus a :class:`~repro.ctree.stats.QueryStats` with
-the counters the evaluation section reports.
+the counters the evaluation section reports.  With tracing enabled
+(:mod:`repro.obs.trace`) a query emits a span tree: ``ctree.subgraph_query``
+→ ``ctree.search`` → one ``ctree.expand`` span per node expansion (with
+histogram/pseudo survivor counts attached) and ``ctree.verify`` wrapping
+the Ullmann phase.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.matching.pseudo_iso import (
     pseudo_compatibility_domains,
 )
 from repro.matching.ullmann import subgraph_isomorphic
+from repro.obs import trace
 from repro.ctree.node import CTreeNode, LeafEntry
 from repro.ctree.stats import QueryStats
 from repro.ctree.tree import CTree
@@ -47,23 +52,36 @@ def subgraph_query(
     query_hist = LabelHistogram.of(query)
 
     candidates: list[tuple[int, Graph, list[set[int]]]] = []
-    start = time.perf_counter()
-    if len(tree):
-        _visit(tree.root, 0, query, query_hist, level, candidates, stats)
-    stats.search_seconds = time.perf_counter() - start
-    stats.candidates = len(candidates)
+    with trace.span(
+        "ctree.subgraph_query",
+        query_vertices=query.num_vertices,
+        level=str(level),
+        database_size=len(tree),
+    ) as root_span:
+        with trace.span("ctree.search"):
+            start = time.perf_counter()
+            if len(tree):
+                _visit(tree.root, 0, query, query_hist, level, candidates,
+                       stats)
+            stats.search_seconds = time.perf_counter() - start
+        stats.candidates = len(candidates)
+        root_span.set(candidates=stats.candidates)
 
-    if not verify:
-        return ([graph_id for graph_id, _, _ in candidates], stats)
+        if not verify:
+            stats.publish()
+            return ([graph_id for graph_id, _, _ in candidates], stats)
 
-    answers: list[int] = []
-    start = time.perf_counter()
-    for graph_id, graph, domains in candidates:
-        stats.isomorphism_tests += 1
-        if subgraph_isomorphic(query, graph, domains):
-            answers.append(graph_id)
-    stats.verify_seconds = time.perf_counter() - start
-    stats.answers = len(answers)
+        answers: list[int] = []
+        with trace.span("ctree.verify", candidates=len(candidates)):
+            start = time.perf_counter()
+            for graph_id, graph, domains in candidates:
+                stats.isomorphism_tests += 1
+                if subgraph_isomorphic(query, graph, domains):
+                    answers.append(graph_id)
+            stats.verify_seconds = time.perf_counter() - start
+        stats.answers = len(answers)
+        root_span.set(answers=stats.answers)
+    stats.publish()
     return (answers, stats)
 
 
@@ -76,29 +94,32 @@ def _visit(
     candidates: list,
     stats: QueryStats,
 ) -> None:
-    stats.nodes_expanded += 1
-    survivors_x = 0
-    survivors_y = 0
-    descend: list[CTreeNode] = []
-    for child in node.children:
-        stats.histogram_tests += 1
-        if not CTreeNode.child_histogram(child).dominates(query_hist):
-            continue
-        survivors_x += 1
-        stats.pseudo_tests += 1
-        target = CTreeNode.child_graph_like(child)
-        domains = pseudo_compatibility_domains(query, target, level)
-        if not global_semi_perfect(domains, target.num_vertices):
-            continue
-        survivors_y += 1
-        stats.pseudo_survivors += 1
-        if isinstance(child, LeafEntry):
-            candidates.append((child.graph_id, child.graph, domains))
-        else:
-            descend.append(child)
-    stats.record_level(depth, survivors_x, survivors_y)
-    for child_node in descend:
-        _visit(child_node, depth + 1, query, query_hist, level, candidates, stats)
+    with trace.span("ctree.expand", depth=depth) as sp:
+        stats.nodes_expanded += 1
+        survivors_x = 0
+        survivors_y = 0
+        descend: list[CTreeNode] = []
+        for child in node.children:
+            stats.histogram_tests += 1
+            if not CTreeNode.child_histogram(child).dominates(query_hist):
+                continue
+            survivors_x += 1
+            stats.pseudo_tests += 1
+            target = CTreeNode.child_graph_like(child)
+            domains = pseudo_compatibility_domains(query, target, level)
+            if not global_semi_perfect(domains, target.num_vertices):
+                continue
+            survivors_y += 1
+            stats.pseudo_survivors += 1
+            if isinstance(child, LeafEntry):
+                candidates.append((child.graph_id, child.graph, domains))
+            else:
+                descend.append(child)
+        stats.record_level(depth, survivors_x, survivors_y)
+        sp.set(fanout=len(node.children), x=survivors_x, y=survivors_y)
+        for child_node in descend:
+            _visit(child_node, depth + 1, query, query_hist, level,
+                   candidates, stats)
 
 
 def linear_scan_subgraph_query(

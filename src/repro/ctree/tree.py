@@ -22,6 +22,8 @@ from repro.graphs.closure import GraphLike
 from repro.graphs.graph import Graph
 from repro.graphs.histogram import LabelHistogram
 from repro.matching.edit_distance import MAPPING_METHODS
+from repro.obs import trace
+from repro.obs.metrics import global_registry
 from repro.ctree.node import Child, CTreeNode, LeafEntry, Mapper
 from repro.ctree.policies import (
     resolve_insert_policy,
@@ -30,6 +32,11 @@ from repro.ctree.policies import (
 
 #: Paper default: m = 20, M = 2m - 1.
 DEFAULT_MIN_FANOUT = 20
+
+#: maintenance counters, resolved once at import time
+_C_INSERTS = global_registry().counter("ctree.inserts")
+_C_DELETES = global_registry().counter("ctree.deletes")
+_C_SPLITS = global_registry().counter("ctree.splits")
 
 
 class CTree:
@@ -125,11 +132,13 @@ class CTree:
         self._next_id = max(self._next_id, graph_id + 1)
         self._graphs[graph_id] = graph
 
-        leaf = self._descend_and_extend(graph)
-        entry = LeafEntry(graph_id, graph)
-        leaf.add_child(entry)
-        self._leaf_of[graph_id] = leaf
-        self._handle_overflow(leaf)
+        with trace.span("ctree.insert", graph_id=graph_id):
+            leaf = self._descend_and_extend(graph)
+            entry = LeafEntry(graph_id, graph)
+            leaf.add_child(entry)
+            self._leaf_of[graph_id] = leaf
+            self._handle_overflow(leaf)
+        _C_INSERTS.value += 1
         return graph_id
 
     def _descend_and_extend(self, graph: GraphLike) -> CTreeNode:
@@ -161,6 +170,11 @@ class CTree:
 
     def _split(self, node: CTreeNode) -> CTreeNode:
         """Split ``node`` in place; returns the new sibling (Section 5.3)."""
+        _C_SPLITS.value += 1
+        with trace.span("ctree.split", fanout=node.fanout):
+            return self._split_inner(node)
+
+    def _split_inner(self, node: CTreeNode) -> CTreeNode:
         group1, group2 = self._partition(
             node.children, self.mapper, self._rng, self.min_fanout
         )
@@ -188,6 +202,12 @@ class CTree:
         """Remove a graph by id; returns it.  Underflowing nodes are
         dissolved and their entries reinserted (non-leaf entries at their
         original height)."""
+        with trace.span("ctree.delete", graph_id=graph_id):
+            graph = self._delete_inner(graph_id)
+        _C_DELETES.value += 1
+        return graph
+
+    def _delete_inner(self, graph_id: int) -> Graph:
         leaf = self._leaf_of.pop(graph_id, None)
         if leaf is None:
             raise IndexError_(f"no graph with id {graph_id}")

@@ -7,7 +7,9 @@ same rows/curves the paper plots.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import json
+from pathlib import Path
+from typing import Mapping, Sequence, Union
 
 
 def format_series_table(
@@ -41,6 +43,33 @@ def format_series_table(
     for row in rows:
         lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def series_to_dict(
+    title: str,
+    x_name: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+) -> dict:
+    """The machine-readable twin of :func:`format_series_table`: the same
+    sweep as a JSON-serializable dict (consumed by ``BENCH_ctree.json``)."""
+    return {
+        "title": title,
+        "x_name": x_name,
+        "x": list(xs),
+        "series": {name: list(values) for name, values in series.items()},
+    }
+
+
+def write_json(path: Union[str, Path], payload) -> Path:
+    """Write a payload as pretty, diff-stable JSON (sorted keys, trailing
+    newline); returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def format_bytes(n: float) -> str:

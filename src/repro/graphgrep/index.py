@@ -30,7 +30,14 @@ from typing import Optional, Sequence
 from repro.exceptions import ConfigError
 from repro.graphs.graph import Graph
 from repro.matching.ullmann import subgraph_isomorphic
+from repro.obs import trace
+from repro.obs.metrics import global_registry
 from repro.graphgrep.paths import label_path_counts
+
+#: process-wide counters (cumulative across indexes, for ``repro metrics``)
+_C_QUERIES = global_registry().counter("graphgrep.queries")
+_C_CANDIDATES = global_registry().counter("graphgrep.candidates")
+_C_ANSWERS = global_registry().counter("graphgrep.answers")
 
 
 def _hash_path(labels: tuple, fingerprint_size: int) -> int:
@@ -162,20 +169,29 @@ class GraphGrepIndex:
         """Full two-phase subgraph query: ids of graphs containing the
         query."""
         stats = GraphGrepStats(database_size=len(self.graphs))
-        start = time.perf_counter()
-        candidate_ids, survivors = self._filter(query)
-        stats.search_seconds = time.perf_counter() - start
-        stats.fingerprint_survivors = survivors
-        stats.candidates = len(candidate_ids)
-        if not verify:
-            return (candidate_ids, stats)
-        start = time.perf_counter()
-        answers = [
-            gid for gid in candidate_ids
-            if subgraph_isomorphic(query, self.graphs[gid])
-        ]
-        stats.verify_seconds = time.perf_counter() - start
-        stats.answers = len(answers)
+        with trace.span("graphgrep.query", lp=self.lp,
+                        database_size=len(self.graphs)) as root_span:
+            start = time.perf_counter()
+            with trace.span("graphgrep.filter"):
+                candidate_ids, survivors = self._filter(query)
+            stats.search_seconds = time.perf_counter() - start
+            stats.fingerprint_survivors = survivors
+            stats.candidates = len(candidate_ids)
+            _C_QUERIES.value += 1
+            _C_CANDIDATES.value += len(candidate_ids)
+            if not verify:
+                root_span.set(candidates=stats.candidates)
+                return (candidate_ids, stats)
+            start = time.perf_counter()
+            with trace.span("graphgrep.verify", candidates=stats.candidates):
+                answers = [
+                    gid for gid in candidate_ids
+                    if subgraph_isomorphic(query, self.graphs[gid])
+                ]
+            stats.verify_seconds = time.perf_counter() - start
+            stats.answers = len(answers)
+            _C_ANSWERS.value += len(answers)
+            root_span.set(candidates=stats.candidates, answers=stats.answers)
         return (answers, stats)
 
     # ------------------------------------------------------------------

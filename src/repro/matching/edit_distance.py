@@ -22,6 +22,7 @@ from repro.matching.bipartite_mapping import (
 )
 from repro.matching.nbm import nbm_mapping
 from repro.matching.state_search import state_search_mapping
+from repro.obs.metrics import global_registry
 
 #: Mapping methods of Section 4, by name.
 MAPPING_METHODS: dict[str, Callable[..., GraphMapping]] = {
@@ -32,6 +33,13 @@ MAPPING_METHODS: dict[str, Callable[..., GraphMapping]] = {
 }
 
 DEFAULT_METHOD = "nbm"
+
+#: hot-path counters, resolved once at import time
+_C_MAPPING_CALLS = global_registry().counter("matching.mapping.calls")
+_C_BY_METHOD = {
+    name: global_registry().counter(f"matching.mapping.calls.{name}")
+    for name in MAPPING_METHODS
+}
 
 
 def graph_mapping(
@@ -50,6 +58,8 @@ def graph_mapping(
             f"unknown mapping method {method!r}; "
             f"choose from {sorted(MAPPING_METHODS)}"
         ) from None
+    _C_MAPPING_CALLS.value += 1
+    _C_BY_METHOD[method].value += 1
     return mapper(g1, g2, **kwargs)
 
 

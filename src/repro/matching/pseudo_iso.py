@@ -29,8 +29,15 @@ from typing import Optional, Union
 from repro.exceptions import ConfigError
 from repro.graphs.closure import GraphLike, labels_match
 from repro.matching.bipartite import has_semi_perfect_matching, hopcroft_karp
+from repro.obs.metrics import global_registry
 
 Level = Union[int, str]
+
+#: hot-path counters, resolved once at import time
+_C_DOMAIN_CALLS = global_registry().counter("matching.pseudo_iso.domain_calls")
+_C_REFINE_ROUNDS = global_registry().counter(
+    "matching.pseudo_iso.refine_rounds"
+)
 
 MAX_LEVEL = "max"
 
@@ -78,6 +85,7 @@ def refine_bipartite(
         # over-refine within a round and break the level semantics of
         # Fig. 5, though the convergence fixpoint is the same.
         previous = [set(d) for d in domains]
+        _C_REFINE_ROUNDS.value += 1
         changed = False
         for u, candidates in enumerate(domains):
             if not query_neighbors[u]:
@@ -137,6 +145,7 @@ def pseudo_compatibility_domains(
     This is also a valid (conservative) seed for Ullmann's algorithm — the
     Section 6.2 acceleration.
     """
+    _C_DOMAIN_CALLS.value += 1
     domains = level0_domains(query, target)
     if any(not d for d in domains):
         return domains

@@ -1,0 +1,50 @@
+"""Observability: metrics registry and span tracing.
+
+- :mod:`repro.obs.metrics` — named counters/gauges/histograms with
+  snapshot, diff, reset, and JSON export; a process-wide registry every
+  instrumented subsystem reports into.
+- :mod:`repro.obs.trace` — ``contextvars``-nested timed spans emitted as
+  JSONL through pluggable sinks, with a flame-style text summary.
+
+See ``docs/OBSERVABILITY.md`` for the metric names and span taxonomy.
+"""
+
+from repro.obs import trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    global_registry,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    ListSink,
+    NullSink,
+    Span,
+    format_trace_summary,
+    phase_totals,
+    read_jsonl,
+    summarize,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NullSink",
+    "Span",
+    "diff_snapshots",
+    "format_trace_summary",
+    "global_registry",
+    "phase_totals",
+    "read_jsonl",
+    "summarize",
+    "trace",
+    "tracing",
+]

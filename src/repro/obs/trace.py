@@ -1,0 +1,399 @@
+"""Span tracing: nested timed phases emitted as JSONL records.
+
+A *span* is a named, timed region with attached attributes.  Spans nest
+via :mod:`contextvars`, so a query produces a tree — query root →
+node expansions → verification, with bufferpool/pagefile I/O spans
+hanging under whatever phase triggered them — without any plumbing
+through function signatures.
+
+Tracing is **off by default** and costs one attribute check per
+:func:`span` call when off.  Enable it with :func:`enable` (or the
+scoped :func:`tracing` context manager) and every finished span is
+emitted to the configured sink as one JSON-able dict:
+
+.. code-block:: python
+
+    {"trace_id": 1, "span_id": 3, "parent_id": 2, "name": "ctree.expand",
+     "start": 81.1, "duration": 0.004, "depth": 2, "attrs": {"x": 5}}
+
+Spans are emitted when they *end* (post-order); :func:`summarize`
+reconstructs the tree from ``parent_id`` and renders a flame-style text
+report.  Sinks are pluggable: :class:`ListSink` (in-memory),
+:class:`JsonlSink` (one JSON object per line), :class:`NullSink`.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.tracing(trace.JsonlSink("query.jsonl")):
+        answers, stats = subgraph_query(tree, q)
+
+    print(trace.format_trace_summary(trace.read_jsonl("query.jsonl")))
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import IO, Iterable, Optional, Union
+
+__all__ = [
+    "Span",
+    "NullSink",
+    "ListSink",
+    "JsonlSink",
+    "enable",
+    "disable",
+    "enabled",
+    "tracing",
+    "span",
+    "current_span",
+    "read_jsonl",
+    "summarize",
+    "phase_totals",
+    "format_trace_summary",
+]
+
+_current: ContextVar[Optional["Span"]] = ContextVar("repro_obs_span",
+                                                   default=None)
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class NullSink:
+    """Discards every record (tracing enabled but unobserved)."""
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ListSink:
+    """Collects records in memory (``sink.records``)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a path or open file object."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owned = True
+        self.count = 0
+
+    def emit(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")))
+        self._fh.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owned:
+            self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# Spans and the tracer
+# ----------------------------------------------------------------------
+class Span:
+    """One timed region; also its own context manager.
+
+    ``set(**attrs)`` attaches attributes at any point while the span is
+    open (e.g. survivor counts known only after a scan).
+    """
+
+    __slots__ = ("name", "attrs", "trace_id", "span_id", "parent_id",
+                 "depth", "start", "duration", "_token")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.trace_id = 0
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start = 0.0
+        self.duration = 0.0
+        self._token = None
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        tracer = _TRACER
+        parent = _current.get()
+        tracer.span_count += 1
+        self.span_id = tracer.span_count
+        if parent is None:
+            tracer.trace_count += 1
+            self.trace_id = tracer.trace_count
+            self.depth = 0
+        else:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+            self.depth = parent.depth + 1
+        self._token = _current.set(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        _current.reset(self._token)
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        _TRACER.sink.emit({
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "attrs": self.attrs,
+        })
+        return False
+
+
+class _NoopSpan:
+    """Stand-in when tracing is disabled; all operations are no-ops."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Tracer:
+    __slots__ = ("enabled", "sink", "span_count", "trace_count")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.sink: object = NullSink()
+        self.span_count = 0
+        self.trace_count = 0
+
+
+_TRACER = _Tracer()
+
+
+def span(name: str, **attrs) -> Union[Span, _NoopSpan]:
+    """Open a span (use as ``with trace.span("name", k=v) as sp:``).
+
+    When tracing is disabled this returns a shared no-op object; the
+    call costs one flag check plus the kwargs dict.
+    """
+    if not _TRACER.enabled:
+        return _NOOP
+    return Span(name, attrs)
+
+
+def current_span() -> Union[Span, _NoopSpan]:
+    """The innermost open span, or a no-op stand-in outside any span."""
+    return _current.get() or _NOOP
+
+
+def enable(sink=None) -> object:
+    """Turn tracing on; returns the active sink (default: a ListSink)."""
+    if sink is None:
+        sink = ListSink()
+    _TRACER.sink = sink
+    _TRACER.enabled = True
+    return sink
+
+
+def disable() -> None:
+    """Turn tracing off and close the active sink."""
+    _TRACER.enabled = False
+    sink, _TRACER.sink = _TRACER.sink, NullSink()
+    close = getattr(sink, "close", None)
+    if close is not None:
+        close()
+
+
+def enabled() -> bool:
+    return _TRACER.enabled
+
+
+@contextmanager
+def tracing(sink=None):
+    """Scoped tracing: enable on entry, disable (closing the sink) on
+    exit.  Yields the sink."""
+    active = enable(sink)
+    try:
+        yield active
+    finally:
+        disable()
+
+
+# ----------------------------------------------------------------------
+# Reading and summarizing traces
+# ----------------------------------------------------------------------
+def read_jsonl(path: Union[str, Path]) -> list[dict]:
+    """Load span records from a JSONL trace file."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _parent_map(records: Iterable[dict]) -> dict:
+    """(trace_id, span_id) -> record, for ancestry walks."""
+    return {(r["trace_id"], r["span_id"]): r for r in records}
+
+
+def _has_same_name_ancestor(rec: dict, by_id: dict) -> bool:
+    cur = rec
+    while cur.get("parent_id") is not None:
+        cur = by_id.get((cur["trace_id"], cur["parent_id"]))
+        if cur is None:
+            return False
+        if cur["name"] == rec["name"]:
+            return True
+    return False
+
+
+def summarize(records: Iterable[dict]) -> dict[str, dict]:
+    """Aggregate spans by name.
+
+    Returns ``{name: {count, total, self, min, max}}`` where
+
+    - ``count`` is the number of spans of that name;
+    - ``total`` sums only *outermost* spans of the name (a recursive
+      span nested under a same-named ancestor is already included in
+      its ancestor's duration, so totals never double-count);
+    - ``self`` is duration minus the direct children's durations,
+      summed over all spans — where the time was actually spent.
+    """
+    records = list(records)
+    by_id = _parent_map(records)
+    child_sum: dict[tuple, float] = {}
+    for rec in records:
+        if rec.get("parent_id") is not None:
+            key = (rec["trace_id"], rec["parent_id"])
+            child_sum[key] = child_sum.get(key, 0.0) + rec["duration"]
+
+    out: dict[str, dict] = {}
+    for rec in records:
+        agg = out.setdefault(rec["name"], {
+            "count": 0, "total": 0.0, "self": 0.0,
+            "min": float("inf"), "max": 0.0,
+        })
+        d = rec["duration"]
+        agg["count"] += 1
+        agg["min"] = min(agg["min"], d)
+        agg["max"] = max(agg["max"], d)
+        agg["self"] += max(
+            0.0, d - child_sum.get((rec["trace_id"], rec["span_id"]), 0.0)
+        )
+        if not _has_same_name_ancestor(rec, by_id):
+            agg["total"] += d
+    for agg in out.values():
+        if agg["count"] == 0:
+            agg["min"] = 0.0
+    return out
+
+
+def phase_totals(records: Iterable[dict]) -> dict[str, float]:
+    """Per-name outermost-span time totals (see :func:`summarize`)."""
+    return {name: agg["total"] for name, agg in summarize(records).items()}
+
+
+def _collapsed_path(rec: dict, by_id: dict) -> tuple[str, ...]:
+    """Root→span name path with consecutive repeats collapsed (so a
+    recursive descent aggregates into one tree node)."""
+    names: list[str] = []
+    cur: Optional[dict] = rec
+    while cur is not None:
+        names.append(cur["name"])
+        pid = cur.get("parent_id")
+        cur = by_id.get((cur["trace_id"], pid)) if pid is not None else None
+    names.reverse()
+    collapsed = [names[0]]
+    for name in names[1:]:
+        if name != collapsed[-1]:
+            collapsed.append(name)
+    return tuple(collapsed)
+
+
+def format_trace_summary(records: Iterable[dict]) -> str:
+    """A flame-style text report: per-phase table plus aggregated tree."""
+    records = list(records)
+    if not records:
+        return "(empty trace)"
+    by_id = _parent_map(records)
+
+    # Aggregated tree keyed by collapsed path; recursive spans merge into
+    # their outermost occurrence.
+    nodes: dict[tuple, dict] = {}
+    for rec in records:
+        parent = (by_id.get((rec["trace_id"], rec["parent_id"]))
+                  if rec.get("parent_id") is not None else None)
+        if parent is not None and parent["name"] == rec["name"]:
+            continue  # inner recursion: already inside the outer span
+        path = _collapsed_path(rec, by_id)
+        node = nodes.setdefault(path, {"count": 0, "total": 0.0})
+        node["count"] += 1
+        node["total"] += rec["duration"]
+
+    lines = ["spans by phase", "--------------"]
+    table = summarize(records)
+    name_w = max(len(n) for n in table)
+    header = (f"{'phase'.ljust(name_w)}  {'count':>7}  {'total':>10}  "
+              f"{'self':>10}  {'avg':>10}")
+    lines.append(header)
+    for name, agg in sorted(table.items(), key=lambda kv: -kv[1]["total"]):
+        avg = agg["total"] / agg["count"] if agg["count"] else 0.0
+        lines.append(
+            f"{name.ljust(name_w)}  {agg['count']:>7}  "
+            f"{agg['total']:>9.4f}s  {agg['self']:>9.4f}s  {avg:>9.6f}s"
+        )
+
+    lines += ["", "span tree (recursion collapsed)",
+              "-------------------------------"]
+    roots = sorted(p for p in nodes if len(p) == 1)
+
+    def walk(path: tuple) -> None:
+        node = nodes[path]
+        indent = "  " * (len(path) - 1)
+        lines.append(
+            f"{indent}{path[-1]}  x{node['count']}  {node['total']:.4f}s"
+        )
+        children = [p for p in nodes if len(p) == len(path) + 1
+                    and p[:len(path)] == path]
+        for child in sorted(children, key=lambda p: -nodes[p]["total"]):
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return "\n".join(lines)

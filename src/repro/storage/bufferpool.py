@@ -3,14 +3,26 @@
 Caches a bounded number of pages in memory with write-back on eviction.
 The hit/miss counters are what the disk-backed C-tree benchmarks report:
 query-time page faults as a function of cache capacity.
+
+Counters live in two places: per-pool plain attributes (``hits``,
+``misses``, ``evictions``, ``writebacks`` — resettable via
+:meth:`BufferPool.reset_stats`) and mirrored ``bufferpool.*`` counters in
+a :class:`~repro.obs.metrics.MetricsRegistry` (the process-wide one by
+default) which accumulate across pools for ``repro metrics``.  With
+tracing enabled, each cache miss emits a ``bufferpool.read_through``
+span containing the underlying ``pagefile.read`` span.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from typing import Optional
 
 from repro.exceptions import PersistenceError
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.storage.pagefile import PageFile
+
+from collections import OrderedDict
 
 
 class BufferPool:
@@ -22,9 +34,17 @@ class BufferPool:
         The backing store.
     capacity:
         Maximum number of cached pages (>= 1).
+    registry:
+        Metrics registry the pool's counters report into (default: the
+        process-wide registry).
     """
 
-    def __init__(self, pagefile: PageFile, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        pagefile: PageFile,
+        capacity: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity < 1:
             raise PersistenceError(f"capacity must be >= 1, got {capacity}")
         self._file = pagefile
@@ -35,6 +55,11 @@ class BufferPool:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.registry = registry if registry is not None else global_registry()
+        self._c_hits = self.registry.counter("bufferpool.hits")
+        self._c_misses = self.registry.counter("bufferpool.misses")
+        self._c_evictions = self.registry.counter("bufferpool.evictions")
+        self._c_writebacks = self.registry.counter("bufferpool.writebacks")
 
     # ------------------------------------------------------------------
     @property
@@ -47,9 +72,12 @@ class BufferPool:
         if cached is not None:
             self._pages.move_to_end(page_id)
             self.hits += 1
+            self._c_hits.value += 1
             return cached[0]
         self.misses += 1
-        data = self._file.read_page(page_id)
+        self._c_misses.value += 1
+        with trace.span("bufferpool.read_through", page=page_id):
+            data = self._file.read_page(page_id)
         self._insert(page_id, data, dirty=False)
         return data
 
@@ -84,9 +112,12 @@ class BufferPool:
         while len(self._pages) > self.capacity:
             victim_id, (data, dirty) = self._pages.popitem(last=False)
             self.evictions += 1
+            self._c_evictions.value += 1
             if dirty:
-                self._file.write_page(victim_id, data)
+                with trace.span("bufferpool.writeback", page=victim_id):
+                    self._file.write_page(victim_id, data)
                 self.writebacks += 1
+                self._c_writebacks.value += 1
 
     def flush(self) -> None:
         """Write every dirty page back and sync the file."""
@@ -94,6 +125,7 @@ class BufferPool:
             if dirty:
                 self._file.write_page(page_id, data)
                 self.writebacks += 1
+                self._c_writebacks.value += 1
                 self._pages[page_id] = (data, False)
         self._file.flush()
 
@@ -102,6 +134,8 @@ class BufferPool:
         self._file.close()
 
     def reset_stats(self) -> None:
+        """Zero the per-pool counters (the shared registry's cumulative
+        ``bufferpool.*`` counters are left untouched)."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -109,8 +143,9 @@ class BufferPool:
 
     @property
     def hit_ratio(self) -> float:
+        """Hits over total accesses; 0.0 before any access."""
         total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self.hits / total if total > 0 else 0.0
 
     def __repr__(self) -> str:
         return (f"<BufferPool {len(self._pages)}/{self.capacity} pages, "

@@ -23,6 +23,8 @@ from pathlib import Path
 from typing import Union
 
 from repro.exceptions import PersistenceError
+from repro.obs import trace
+from repro.obs.metrics import global_registry
 
 PathLike = Union[str, Path]
 
@@ -52,9 +54,12 @@ class PageFile:
         self._free_head = free_head
         self._user_root = user_root
         self._closed = False
-        #: physical I/O counters
+        #: physical I/O counters (also mirrored into the process-wide
+        #: metrics registry as ``pagefile.reads`` / ``pagefile.writes``)
         self.reads = 0
         self.writes = 0
+        self._c_reads = global_registry().counter("pagefile.reads")
+        self._c_writes = global_registry().counter("pagefile.writes")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -133,9 +138,11 @@ class PageFile:
     def read_page(self, page_id: int) -> bytes:
         """Read one page (always ``page_size`` bytes)."""
         self._check_page(page_id)
-        self._fh.seek(page_id * self.page_size)
-        data = self._fh.read(self.page_size)
+        with trace.span("pagefile.read", page=page_id):
+            self._fh.seek(page_id * self.page_size)
+            data = self._fh.read(self.page_size)
         self.reads += 1
+        self._c_reads.value += 1
         if len(data) < self.page_size:
             data = data.ljust(self.page_size, b"\0")
         return data
@@ -150,9 +157,11 @@ class PageFile:
                 f"page data of {len(data)} bytes exceeds page size "
                 f"{self.page_size}"
             )
-        self._fh.seek(page_id * self.page_size)
-        self._fh.write(data.ljust(self.page_size, b"\0"))
+        with trace.span("pagefile.write", page=page_id):
+            self._fh.seek(page_id * self.page_size)
+            self._fh.write(data.ljust(self.page_size, b"\0"))
         self.writes += 1
+        self._c_writes.value += 1
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

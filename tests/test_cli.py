@@ -147,3 +147,82 @@ class TestSimilarityCommands:
         assert main(["range", "-t", str(tree), "-q", self.QUERY,
                      "-r", "100"]) == 0
         assert "within distance" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    QUERY = json.dumps({"labels": ["C", "C"], "edges": [[0, 1]]})
+
+    def test_trace_disk_query_writes_jsonl(self, workspace, tmp_path, capsys):
+        from repro.obs import trace
+
+        _, _, _, disk = workspace
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "-t", str(disk), "-q", self.QUERY,
+                     "-o", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "spans" in stdout and "|CS|=" in stdout
+        records = trace.read_jsonl(out)
+        names = {r["name"] for r in records}
+        assert "ctree.subgraph_query" in names
+        assert "ctree.expand" in names
+        assert "pagefile.read" in names
+        # tracing is switched back off after the command
+        assert not trace.enabled()
+
+    def test_trace_summary_matches_stats_within_1pct(
+        self, workspace, tmp_path, capsys
+    ):
+        from repro.obs import trace
+
+        _, _, _, disk = workspace
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "-t", str(disk), "-q", self.QUERY,
+                     "-o", str(out), "--summary"]) == 0
+        stdout = capsys.readouterr().out
+        assert "spans by phase" in stdout
+        assert "span tree" in stdout
+        # the stats line printed by the command carries the perf_counter
+        # timings; the span totals must agree within 1%
+        stats_line = next(l for l in stdout.splitlines() if "search=" in l)
+        search_s = float(stats_line.split("search=")[1].split("s")[0])
+        totals = trace.phase_totals(trace.read_jsonl(out))
+        assert totals["ctree.search"] == pytest.approx(search_s, abs=5e-4)
+
+    def test_trace_summarize_existing_file(self, workspace, tmp_path, capsys):
+        _, _, tree, _ = workspace
+        out = tmp_path / "t.jsonl"
+        main(["trace", "-t", str(tree), "-q", self.QUERY, "-o", str(out)])
+        capsys.readouterr()
+        assert main(["trace", "-i", str(out)]) == 0
+        assert "spans by phase" in capsys.readouterr().out
+
+    def test_trace_requires_input_or_query(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_metrics_delta_json(self, workspace, capsys):
+        _, _, tree, _ = workspace
+        assert main(["metrics", "-t", str(tree), "-q", self.QUERY]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ctree.query.count"]["value"] == 1
+        assert payload["ctree.query.candidates"]["type"] == "counter"
+        assert payload["matching.mapping.calls"]["value"] >= 0
+
+    def test_metrics_to_file(self, workspace, tmp_path, capsys):
+        _, _, _, disk = workspace
+        out = tmp_path / "metrics.json"
+        assert main(["metrics", "-t", str(disk), "-q", self.QUERY,
+                     "-o", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "bufferpool.misses" in payload
+        assert "pagefile.reads" in payload
+
+    def test_metrics_cumulative(self, workspace, capsys):
+        _, _, tree, _ = workspace
+        main(["metrics", "-t", str(tree), "-q", self.QUERY])
+        capsys.readouterr()
+        assert main(["metrics", "-t", str(tree), "-q", self.QUERY,
+                     "--cumulative"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # cumulative counts cover both runs (and any earlier in-process ones)
+        assert payload["ctree.query.count"]["value"] >= 2

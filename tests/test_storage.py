@@ -160,6 +160,75 @@ class TestBufferPool:
         pool.reset_stats()
         assert pool.hits == 0
 
+    def test_hit_ratio_zero_access_edge_cases(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        # No accesses at all: defined as 0.0, not a ZeroDivisionError.
+        assert pool.hit_ratio == 0.0
+        pid = pool.allocate()
+        pool.put(pid, b"y")  # put is not an access
+        assert pool.hit_ratio == 0.0
+        pool.get(pid)
+        pool.reset_stats()
+        # Back to the zero-access state after a reset too.
+        assert pool.hit_ratio == 0.0
+
+    def test_reset_stats_consistency(self, pagefile):
+        pool = BufferPool(pagefile, capacity=1)
+        pids = [pool.allocate() for _ in range(3)]
+        for i, pid in enumerate(pids):
+            pool.put(pid, f"p{i}".encode())
+        pool.get(pids[0])
+        assert pool.misses > 0 and pool.evictions > 0
+        pool.reset_stats()
+        assert (pool.hits, pool.misses, pool.evictions, pool.writebacks) \
+            == (0, 0, 0, 0)
+        # Counting resumes correctly from zero.
+        pool.get(pids[0])
+        assert pool.hits + pool.misses == 1
+
+    def test_registry_counters_mirror_pool(self, pagefile):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        pool = BufferPool(pagefile, capacity=2, registry=reg)
+        pid = pool.allocate()
+        pool.put(pid, b"y")
+        pool.get(pid)          # hit
+        pool2 = BufferPool(pagefile, capacity=2, registry=reg)
+        pool2.get(pid)         # miss (fresh pool, same registry)
+        assert reg.counter("bufferpool.hits").value == 1
+        assert reg.counter("bufferpool.misses").value == 1
+
+    def test_registry_counters_survive_reset_stats(self, pagefile):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        pool = BufferPool(pagefile, capacity=1, registry=reg)
+        pids = [pool.allocate() for _ in range(2)]
+        for pid in pids:
+            pool.put(pid, b"d")
+        pool.get(pids[0])
+        evictions = reg.counter("bufferpool.evictions").value
+        assert evictions > 0
+        pool.reset_stats()
+        # Per-pool counters zeroed; cumulative registry counters kept.
+        assert pool.evictions == 0
+        assert reg.counter("bufferpool.evictions").value == evictions
+
+    def test_default_registry_is_global(self, pagefile):
+        from repro.obs.metrics import global_registry
+
+        pool = BufferPool(pagefile, capacity=2)
+        assert pool.registry is global_registry()
+        before = global_registry().counter("bufferpool.misses").value
+        pid = pool.allocate()
+        pool.put(pid, b"y")
+        pool.flush()
+        pool2 = BufferPool(pagefile, capacity=2)
+        pool2.get(pid)
+        assert global_registry().counter("bufferpool.misses").value \
+            == before + 1
+
 
 class TestRecordStore:
     @pytest.fixture
