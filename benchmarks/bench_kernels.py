@@ -1,0 +1,163 @@
+"""Kernel microbenchmark: bitset matching engine vs set-based reference.
+
+Times the pseudo-isomorphism hot path (`pseudo_compatibility_domains` over
+the chemical workload) and a full C-tree subgraph query with the kernels
+toggled on and off, asserting (a) bit-identical candidate and answer sets
+and (b) the measured speedup that justifies the kernels' existence.
+
+Writes ``benchmarks/results/kernel_microbench.json`` (uploaded as a CI
+artifact by the bench-smoke job) in addition to the usual
+``record_figure`` table + ``BENCH_ctree.json`` entry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import conftest
+from conftest import CHEM_SWEEP, RESULTS_DIR, record_figure
+
+from repro.graphs.labelspace import target_context
+from repro.matching.kernels import use_kernels
+from repro.matching.pseudo_iso import pseudo_compatibility_domains
+from repro.ctree.subgraph_query import subgraph_query
+from repro.datasets.queries import generate_subgraph_queries
+
+#: Required kernel-vs-reference speedup on the domain microbenchmark at
+#: full scale.  ``--quick`` shrinks the workload until constant overheads
+#: (context compilation over a handful of graphs) matter, so the gate
+#: there only guards against outright regressions.
+MIN_SPEEDUP = 2.0
+MIN_SPEEDUP_QUICK = 1.2
+REPEATS = 3
+
+
+def _time(fn) -> float:
+    """Best-of-N wall time of ``fn()`` (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernel_microbench(chem_database, chem_tree, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sizes = CHEM_SWEEP.query_sizes
+    queries_per_size = max(2, CHEM_SWEEP.queries_per_size // 2)
+    level = 1
+
+    ref_times, kernel_times, speedups = [], [], []
+    for size in sizes:
+        queries = generate_subgraph_queries(
+            chem_database, size, queries_per_size, seed=21
+        )
+
+        def sweep() -> list:
+            out = []
+            for q in queries:
+                for g in chem_database:
+                    out.append(pseudo_compatibility_domains(q, g, level))
+            return out
+
+        # Warm the memoized contexts so both engines are measured at their
+        # steady state (contexts persist across queries in real use; the
+        # reference path does not use them at all).
+        for g in chem_database:
+            target_context(g)
+        for q in queries:
+            target_context(q)
+
+        with use_kernels(False):
+            t_ref = _time(sweep)
+            domains_ref = sweep()
+        with use_kernels(True):
+            t_kernel = _time(sweep)
+            domains_kernel = sweep()
+
+        # Bit-identical domains, not merely equal verdicts.
+        assert domains_kernel == domains_ref
+
+        ref_times.append(t_ref)
+        kernel_times.append(t_kernel)
+        speedups.append(t_ref / t_kernel)
+
+    record_figure(
+        "kernel_microbench",
+        "Kernel microbench: pseudo-iso domains, set-based vs bitset "
+        "(chemical)",
+        "query size",
+        sizes,
+        {
+            "reference (s)": ref_times,
+            "kernels (s)": kernel_times,
+            "speedup": speedups,
+        },
+        float_format="{:.4f}",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "kernel_microbench.json").write_text(
+        json.dumps(
+            {
+                "quick": conftest._QUICK,
+                "query_sizes": list(sizes),
+                "reference_seconds": ref_times,
+                "kernel_seconds": kernel_times,
+                "speedups": speedups,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    floor = MIN_SPEEDUP_QUICK if conftest._QUICK else MIN_SPEEDUP
+    overall = sum(ref_times) / sum(kernel_times)
+    assert overall >= floor, (
+        f"kernel speedup {overall:.2f}x below the {floor}x floor "
+        f"(per-size: {[f'{s:.2f}' for s in speedups]})"
+    )
+
+
+def test_kernels_do_not_change_query_results(chem_database, chem_tree,
+                                             benchmark):
+    """The bench-regression gate: candidate and answer sets out of the
+    index are identical with the kernels on and off."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for size in CHEM_SWEEP.query_sizes:
+        for query in generate_subgraph_queries(chem_database, size, 2,
+                                               seed=33):
+            for level in (1, "max"):
+                with use_kernels(True):
+                    ans_k, st_k = subgraph_query(chem_tree, query,
+                                                 level=level)
+                with use_kernels(False):
+                    ans_r, st_r = subgraph_query(chem_tree, query,
+                                                 level=level)
+                assert ans_k == ans_r
+                assert st_k.candidates == st_r.candidates
+                assert st_k.answers == st_r.answers
+                assert st_k.pseudo_survivors == st_r.pseudo_survivors
+
+
+def test_full_query_speedup(chem_database, chem_tree, benchmark):
+    """End-to-end: one mid-size subgraph query, kernels on vs off."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    size = CHEM_SWEEP.query_sizes[len(CHEM_SWEEP.query_sizes) // 2]
+    queries = generate_subgraph_queries(chem_database, size, 3, seed=44)
+
+    def run() -> None:
+        for q in queries:
+            subgraph_query(chem_tree, q, level=1)
+
+    with use_kernels(False):
+        t_ref = _time(run)
+    with use_kernels(True):
+        t_kernel = _time(run)
+    speedup = t_ref / t_kernel
+    print(f"\n[full subgraph_query speedup: {speedup:.2f}x "
+          f"(ref {t_ref:.3f}s, kernels {t_kernel:.3f}s)]")
+    # Verification (Ullmann) is shared between modes, so the end-to-end
+    # floor is lower than the domain-kernel floor.
+    assert speedup >= (1.0 if conftest._QUICK else 1.3)

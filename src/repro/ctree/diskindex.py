@@ -26,6 +26,9 @@ from repro.exceptions import PersistenceError
 from repro.graphs.closure import GraphClosure
 from repro.graphs.graph import Graph
 from repro.graphs.histogram import LabelHistogram
+from repro.graphs.labelspace import target_context
+from repro.matching import kernels
+from repro.matching.bounds import SimilarityQueryContext
 from repro.matching.pseudo_iso import (
     Level,
     global_semi_perfect,
@@ -216,6 +219,10 @@ class DiskCTree:
 
         stats = DiskQueryStats(database_size=len(self))
         query_hist = LabelHistogram.of(query)
+        # One compiled query context per query (kernel mode); disk-loaded
+        # targets are fresh objects, but the query side never recompiles.
+        qc = kernels.compile_query(query, level) if kernels.kernels_enabled() \
+            else None
         candidates: list[tuple[int, int]] = []  # (graph_id, graph record)
 
         with trace.span(
@@ -229,7 +236,7 @@ class DiskCTree:
                 start = time.perf_counter()
                 if len(self):
                     self._visit(
-                        self._meta["root"], 0, query, query_hist, level,
+                        self._meta["root"], 0, query, query_hist, qc, level,
                         candidates, stats,
                     )
                 stats.search_seconds = time.perf_counter() - start
@@ -242,9 +249,12 @@ class DiskCTree:
                     start = time.perf_counter()
                     for graph_id, graph_record in candidates:
                         graph = self._load_graph(graph_record)
-                        domains = pseudo_compatibility_domains(
-                            query, graph, level
-                        )
+                        if qc is not None:
+                            domains = qc.domains(graph, level)
+                        else:
+                            domains = pseudo_compatibility_domains(
+                                query, graph, level
+                            )
                         stats.isomorphism_tests += 1
                         if subgraph_isomorphic(query, graph, domains):
                             answers.append(graph_id)
@@ -259,12 +269,28 @@ class DiskCTree:
         stats.publish()
         return (answers if verify else [gid for gid, _ in candidates], stats)
 
+    def _pseudo_survives(self, query, qc, target, level) -> bool:
+        """One histogram-free pseudo test of ``target`` (kernel or
+        reference engine, matching the in-memory Alg. 3 exactly)."""
+        if qc is not None:
+            tctx = target_context(target)
+            masks = kernels.pseudo_domain_masks(qc.ctx, tctx, level)
+            return kernels.global_semi_perfect_masks(masks)
+        domains = pseudo_compatibility_domains(query, target, level)
+        return global_semi_perfect(domains, target.num_vertices)
+
+    def _histogram_dominates(self, qc, query_hist, target) -> bool:
+        if qc is not None:
+            return kernels.histogram_dominates(target_context(target), qc)
+        return LabelHistogram.of(target).dominates(query_hist)
+
     def _visit(
         self,
         record_id: int,
         depth: int,
         query: Graph,
         query_hist: LabelHistogram,
+        qc,
         level: Level,
         candidates: list,
         stats: DiskQueryStats,
@@ -282,12 +308,11 @@ class DiskCTree:
                 for graph_id, graph_record in record.get("graphs", []):
                     stats.histogram_tests += 1
                     graph = self._load_graph(graph_record)
-                    if not LabelHistogram.of(graph).dominates(query_hist):
+                    if not self._histogram_dominates(qc, query_hist, graph):
                         continue
                     survivors_x += 1
                     stats.pseudo_tests += 1
-                    domains = pseudo_compatibility_domains(query, graph, level)
-                    if global_semi_perfect(domains, graph.num_vertices):
+                    if self._pseudo_survives(query, qc, graph, level):
                         survivors_y += 1
                         stats.pseudo_survivors += 1
                         candidates.append((graph_id, graph_record))
@@ -299,14 +324,12 @@ class DiskCTree:
                 child = self._load_record(child_record)
                 child_closure = GraphClosure.from_dict(child["closure"])
                 stats.histogram_tests += 1
-                if not LabelHistogram.of(child_closure).dominates(query_hist):
+                if not self._histogram_dominates(qc, query_hist,
+                                                 child_closure):
                     continue
                 survivors_x += 1
                 stats.pseudo_tests += 1
-                domains = pseudo_compatibility_domains(
-                    query, child_closure, level
-                )
-                if global_semi_perfect(domains, child_closure.num_vertices):
+                if self._pseudo_survives(query, qc, child_closure, level):
                     survivors_y += 1
                     stats.pseudo_survivors += 1
                     descend.append(child_record)
@@ -314,7 +337,7 @@ class DiskCTree:
             sp.set(leaf=False, x=survivors_x, y=survivors_y)
             for child_record in descend:
                 self._visit(
-                    child_record, depth + 1, query, query_hist, level,
+                    child_record, depth + 1, query, query_hist, qc, level,
                     candidates, stats,
                 )
 
@@ -336,7 +359,6 @@ class DiskCTree:
         import heapq
         import itertools
 
-        from repro.matching.bounds import sim_upper_bound
         from repro.matching.edit_distance import graph_similarity
 
         self._check_open()
@@ -345,6 +367,9 @@ class DiskCTree:
         stats = DiskKnnStats(database_size=len(self))
         if k <= 0 or len(self) == 0:
             return ([], stats)
+        # Query-side label sets and matching indexes, extracted once and
+        # reused for every Eqn. (7) bound along the traversal.
+        sqc = SimilarityQueryContext(query)
 
         with trace.span("ctree.knn_query", k=k, database_size=len(self),
                         disk=True) as root_span:
@@ -401,7 +426,7 @@ class DiskCTree:
                                     "graphs", []):
                                 stats.children_scored += 1
                                 graph = self._load_graph(graph_record)
-                                bound = sim_upper_bound(query, graph)
+                                bound = sqc.sim_upper_bound(graph)
                                 if bound < lower_bound:
                                     stats.pruned_by_bound += 1
                                     continue
@@ -416,7 +441,7 @@ class DiskCTree:
                                 child = self._load_record(child_record)
                                 closure = GraphClosure.from_dict(
                                     child["closure"])
-                                bound = sim_upper_bound(query, closure)
+                                bound = sqc.sim_upper_bound(closure)
                                 if bound < lower_bound:
                                     stats.pruned_by_bound += 1
                                     continue

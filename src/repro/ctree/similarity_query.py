@@ -23,12 +23,8 @@ import itertools
 import time
 from repro.graphs.closure import GraphClosure
 from repro.graphs.graph import Graph
-from repro.matching.bounds import (
-    set_similarity_upper_bound,
-    sim_upper_bound,
-)
+from repro.matching.bounds import SimilarityQueryContext
 from repro.matching.edit_distance import graph_distance, graph_similarity
-from repro.matching.measures import edge_label_sets, vertex_label_sets
 from repro.obs import trace
 from repro.ctree.node import CTreeNode, LeafEntry
 from repro.ctree.stats import KnnStats
@@ -69,6 +65,9 @@ def _knn_search(
 ) -> list[tuple[int, float]]:
     """The incremental-ranking heap loop of Algorithm 4."""
     counter = itertools.count()
+    # Query-side label sets and matching indexes, extracted once and reused
+    # for every Eqn. (7) bound along the traversal.
+    sqc = SimilarityQueryContext(query)
     # Max-heap via negated keys.  Entries: (-key, tiebreak, kind, payload)
     # with kind one of _NODE (key = closure similarity bound), _GRAPH_BOUND
     # (key = Eqn. 7 bound, exact similarity not yet computed) or
@@ -124,8 +123,8 @@ def _knn_search(
             with trace.span("ctree.knn.expand") as sp:
                 for child in node.children:
                     stats.children_scored += 1
-                    bound = sim_upper_bound(
-                        query, CTreeNode.child_graph_like(child)
+                    bound = sqc.sim_upper_bound(
+                        CTreeNode.child_graph_like(child)
                     )
                     if bound < lower_bound:
                         stats.pruned_by_bound += 1
@@ -165,6 +164,7 @@ def range_query(
 
     with trace.span("ctree.range_query", radius=radius,
                     database_size=len(tree)) as root_span:
+        sqc = SimilarityQueryContext(query)
         stack = [tree.root]
         while stack:
             node = stack.pop()
@@ -180,7 +180,7 @@ def range_query(
                         stats.results += 1
                 else:
                     assert child.closure is not None
-                    bound = closure_distance_lower_bound(query, child.closure)
+                    bound = sqc.closure_distance_lower_bound(child.closure)
                     if bound > radius:
                         stats.pruned_by_bound += 1
                         continue
@@ -201,16 +201,12 @@ def closure_distance_lower_bound(query: Graph, closure: GraphClosure) -> float:
     ``max(|V_q|, minV(C))`` vertices of the larger side that is not in a
     zero-cost pair, and zero-cost pairs number at most ``Sim(V_q, V_C)``
     (which dominates ``Sim(V_q, V_H)``).  Edge part analogous.
+
+    One-shot convenience wrapper; traversals build one
+    :class:`~repro.matching.bounds.SimilarityQueryContext` per query
+    instead.
     """
-    v_match = set_similarity_upper_bound(
-        vertex_label_sets(query), vertex_label_sets(closure)
-    )
-    e_match = set_similarity_upper_bound(
-        edge_label_sets(query), edge_label_sets(closure)
-    )
-    v_cost = max(query.num_vertices, closure.min_num_vertices()) - v_match
-    e_cost = max(query.num_edges, closure.min_num_edges()) - e_match
-    return max(0.0, v_cost) + max(0.0, e_cost)
+    return SimilarityQueryContext(query).closure_distance_lower_bound(closure)
 
 
 def linear_scan_knn(

@@ -22,8 +22,13 @@ the Ullmann phase.
 from __future__ import annotations
 
 import time
+from typing import Optional
+
 from repro.graphs.graph import Graph
 from repro.graphs.histogram import LabelHistogram
+from repro.graphs.labelspace import target_context
+from repro.matching import kernels
+from repro.matching.kernels import QueryContext
 from repro.matching.pseudo_iso import (
     Level,
     global_semi_perfect,
@@ -50,6 +55,11 @@ def subgraph_query(
     """
     stats = QueryStats(database_size=len(tree))
     query_hist = LabelHistogram.of(query)
+    # One immutable compiled context per query (kernel mode): label masks,
+    # neighbor tuples and the sparse histogram are reused across the whole
+    # descent instead of being rebuilt per child.
+    qc = kernels.compile_query(query, level) if kernels.kernels_enabled() \
+        else None
 
     candidates: list[tuple[int, Graph, list[set[int]]]] = []
     with trace.span(
@@ -61,8 +71,8 @@ def subgraph_query(
         with trace.span("ctree.search"):
             start = time.perf_counter()
             if len(tree):
-                _visit(tree.root, 0, query, query_hist, level, candidates,
-                       stats)
+                _visit(tree.root, 0, query, query_hist, qc, level,
+                       candidates, stats)
             stats.search_seconds = time.perf_counter() - start
         stats.candidates = len(candidates)
         root_span.set(candidates=stats.candidates)
@@ -90,6 +100,7 @@ def _visit(
     depth: int,
     query: Graph,
     query_hist: LabelHistogram,
+    qc: Optional[QueryContext],
     level: Level,
     candidates: list,
     stats: QueryStats,
@@ -101,6 +112,28 @@ def _visit(
         descend: list[CTreeNode] = []
         for child in node.children:
             stats.histogram_tests += 1
+            if qc is not None:
+                # Kernel path: compiled contexts + bitset kernels.  The
+                # target context is memoized on the child's graph/closure,
+                # so repeated queries pay the encoding cost once.
+                target = CTreeNode.child_graph_like(child)
+                tctx = target_context(target)
+                if not kernels.histogram_dominates(tctx, qc):
+                    continue
+                survivors_x += 1
+                stats.pseudo_tests += 1
+                masks = kernels.pseudo_domain_masks(qc.ctx, tctx, level)
+                if not kernels.global_semi_perfect_masks(masks):
+                    continue
+                survivors_y += 1
+                stats.pseudo_survivors += 1
+                if isinstance(child, LeafEntry):
+                    candidates.append((child.graph_id, child.graph,
+                                       kernels.masks_to_domains(masks)))
+                else:
+                    descend.append(child)
+                continue
+            # Reference (set-based) path.
             if not CTreeNode.child_histogram(child).dominates(query_hist):
                 continue
             survivors_x += 1
@@ -118,7 +151,7 @@ def _visit(
         stats.record_level(depth, survivors_x, survivors_y)
         sp.set(fanout=len(node.children), x=survivors_x, y=survivors_y)
         for child_node in descend:
-            _visit(child_node, depth + 1, query, query_hist, level,
+            _visit(child_node, depth + 1, query, query_hist, qc, level,
                    candidates, stats)
 
 

@@ -11,6 +11,16 @@ from repro.graphs.closure import (
 )
 from repro.graphs.graph import Graph
 from repro.graphs.histogram import LabelHistogram
+from repro.graphs.labelspace import (
+    EPSILON_BIT,
+    WILDCARD_BIT,
+    LabelSpace,
+    TargetContext,
+    global_labelspace,
+    masks_match,
+    reset_labelspace,
+    target_context,
+)
 from repro.graphs.mapping import (
     DUMMY_SET,
     GraphMapping,
@@ -21,17 +31,25 @@ from repro.graphs.mapping import (
 
 __all__ = [
     "EPSILON",
+    "EPSILON_BIT",
     "WILDCARD",
+    "WILDCARD_BIT",
     "DUMMY_SET",
     "Graph",
     "GraphClosure",
     "GraphMapping",
     "LabelHistogram",
+    "LabelSpace",
+    "TargetContext",
     "as_closure",
     "closure_under_mapping",
     "contains_wildcard",
+    "global_labelspace",
     "labels_match",
+    "masks_match",
     "identity_mapping",
+    "reset_labelspace",
+    "target_context",
     "uniform_set_distance",
     "uniform_set_similarity",
 ]

@@ -110,7 +110,7 @@ class GraphClosure:
     ``frozenset`` labels.
     """
 
-    __slots__ = ("_vlabels", "_adj", "_num_edges")
+    __slots__ = ("_vlabels", "_adj", "_num_edges", "_kernel_ctx")
 
     def __init__(self, vertex_label_sets: Sequence[Iterable] = ()) -> None:
         self._vlabels: list[frozenset] = [frozenset(s) for s in vertex_label_sets]
@@ -119,6 +119,8 @@ class GraphClosure:
                 raise GraphError("vertex label sets must be non-empty")
         self._adj: list[dict[int, frozenset]] = [{} for _ in self._vlabels]
         self._num_edges = 0
+        #: memoized (labelspace, TargetContext) — see repro.graphs.labelspace
+        self._kernel_ctx = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -137,6 +139,7 @@ class GraphClosure:
             raise GraphError("vertex label sets must be non-empty")
         self._vlabels.append(s)
         self._adj.append({})
+        self._kernel_ctx = None
         return len(self._vlabels) - 1
 
     def add_edge(self, u: int, v: int, label_set: Iterable) -> None:
@@ -152,6 +155,7 @@ class GraphClosure:
         self._adj[u][v] = s
         self._adj[v][u] = s
         self._num_edges += 1
+        self._kernel_ctx = None
 
     # ------------------------------------------------------------------
     # Shared Graph protocol
@@ -251,7 +255,18 @@ class GraphClosure:
         c._vlabels = list(self._vlabels)
         c._adj = [dict(nbrs) for nbrs in self._adj]
         c._num_edges = self._num_edges
+        c._kernel_ctx = None
         return c
+
+    # ------------------------------------------------------------------
+    # Pickling (never serialize the process-local kernel context cache)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self._vlabels, self._adj, self._num_edges)
+
+    def __setstate__(self, state) -> None:
+        self._vlabels, self._adj, self._num_edges = state
+        self._kernel_ctx = None
 
     # ------------------------------------------------------------------
     # Serialization
@@ -325,6 +340,7 @@ def closure_under_mapping(
     result._vlabels = []
     result._adj = []
     result._num_edges = 0
+    result._kernel_ctx = None
 
     # Vertex closures, one per mapping pair; remember each pair's new id.
     pair_id: list[int] = []

@@ -41,7 +41,7 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_labels", "_adj", "_num_edges", "name")
+    __slots__ = ("_labels", "_adj", "_num_edges", "name", "_kernel_ctx")
 
     def __init__(
         self,
@@ -53,6 +53,8 @@ class Graph:
         self._adj: list[dict[int, Label]] = [{} for _ in self._labels]
         self._num_edges = 0
         self.name = name
+        #: memoized (labelspace, TargetContext) — see repro.graphs.labelspace
+        self._kernel_ctx = None
         for edge in edges:
             if len(edge) == 2:
                 u, v = edge
@@ -68,6 +70,7 @@ class Graph:
         """Append a vertex with the given label and return its id."""
         self._labels.append(label)
         self._adj.append({})
+        self._kernel_ctx = None
         return len(self._labels) - 1
 
     def add_edge(self, u: int, v: int, label: Label = None) -> None:
@@ -85,6 +88,7 @@ class Graph:
         self._adj[u][v] = label
         self._adj[v][u] = label
         self._num_edges += 1
+        self._kernel_ctx = None
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge between ``u`` and ``v`` (must exist)."""
@@ -95,6 +99,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._kernel_ctx = None
 
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < len(self._labels):
@@ -122,6 +127,7 @@ class Graph:
     def set_label(self, v: int, label: Label) -> None:
         self._check_vertex(v)
         self._labels[v] = label
+        self._kernel_ctx = None
 
     def label_set(self, v: int) -> frozenset:
         """The label of ``v`` viewed as a singleton set.
@@ -190,6 +196,7 @@ class Graph:
         g._adj = [dict(nbrs) for nbrs in self._adj]
         g._num_edges = self._num_edges
         g.name = self.name
+        g._kernel_ctx = None
         return g
 
     def subgraph(self, vertices: Sequence[int]) -> "Graph":
@@ -330,6 +337,17 @@ class Graph:
     def __repr__(self) -> str:
         name = f" {self.name!r}" if self.name else ""
         return f"<Graph{name} |V|={self.num_vertices} |E|={self.num_edges}>"
+
+    # ------------------------------------------------------------------
+    # Pickling (the kernel context cache holds bitmasks tied to this
+    # process's label interner, so it must never be serialized)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self._labels, self._adj, self._num_edges, self.name)
+
+    def __setstate__(self, state) -> None:
+        self._labels, self._adj, self._num_edges, self.name = state
+        self._kernel_ctx = None
 
     # ------------------------------------------------------------------
     # Serialization

@@ -1,0 +1,342 @@
+"""Process-wide label interning and compiled bitset graph contexts.
+
+The matching hot path (pseudo subgraph isomorphism, Alg. 2) spends most of
+its time intersecting tiny ``frozenset`` labels and walking per-vertex
+neighbor structures that are rebuilt for every (query, target) pair.  This
+module compiles both away:
+
+- :class:`LabelSpace` interns every distinct vertex/edge label to a small
+  integer, so a label *set* becomes one Python int bitmask and the paper's
+  label-compatibility test (:func:`~repro.graphs.closure.labels_match`)
+  becomes two machine-word operations (:func:`masks_match`).
+- :class:`TargetContext` is the compiled, immutable view of one
+  :class:`~repro.graphs.graph.Graph` or
+  :class:`~repro.graphs.closure.GraphClosure`: label bitmasks per vertex,
+  neighbor tuples, adjacency bitmasks, per-vertex edge-label groups, and a
+  dense int-array label histogram.  It is built once per object by
+  :func:`target_context` and memoized on the graph itself (slot
+  ``_kernel_ctx``), invalidated whenever the graph mutates.
+
+Bit layout: bit 0 is reserved for the query wildcard and bit 1 for the
+dummy label ε, so the wildcard test is a constant-mask AND.  Interning is
+append-only — ids are never reassigned — which keeps cached masks valid as
+new labels appear; a context is only stale if the *global space object*
+itself was replaced (tests use :func:`reset_labelspace`).
+
+ε is deliberately interned as an ordinary label bit: ``labels_match``
+treats the dummy as a value two closures can agree on, and the bitmask
+encoding must preserve that semantics exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Union
+
+from repro.graphs.closure import EPSILON, WILDCARD, GraphClosure, GraphLike
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "WILDCARD_BIT",
+    "EPSILON_BIT",
+    "LabelSpace",
+    "TargetContext",
+    "global_labelspace",
+    "reset_labelspace",
+    "masks_match",
+    "target_context",
+]
+
+#: Bitmask of the reserved wildcard label (always id 0).
+WILDCARD_BIT = 1
+#: Bitmask of the reserved dummy label ε (always id 1).
+EPSILON_BIT = 2
+
+
+def masks_match(m1: int, m2: int) -> bool:
+    """Bitmask equivalent of :func:`~repro.graphs.closure.labels_match`.
+
+    True when the masks share a bit, or when either contains the wildcard
+    bit (a wildcard matches any real label — and two wildcards share bit 0
+    anyway, so the single constant-mask test covers every case).
+    """
+    return bool((m1 & m2) | ((m1 | m2) & WILDCARD_BIT))
+
+
+class LabelSpace:
+    """An append-only interner from labels to small integer ids.
+
+    Vertex labels and edge labels are interned in separate namespaces so
+    each side's bitmasks stay dense.  Ids 0 (wildcard) and 1 (ε) are
+    reserved in both namespaces.
+    """
+
+    __slots__ = ("_vertex_ids", "_edge_ids")
+
+    def __init__(self) -> None:
+        self._vertex_ids: dict = {WILDCARD: 0, EPSILON: 1}
+        self._edge_ids: dict = {WILDCARD: 0, EPSILON: 1}
+
+    # ------------------------------------------------------------------
+    def vertex_id(self, label: Hashable) -> int:
+        ids = self._vertex_ids
+        i = ids.get(label)
+        if i is None:
+            i = len(ids)
+            ids[label] = i
+        return i
+
+    def edge_id(self, label: Hashable) -> int:
+        ids = self._edge_ids
+        i = ids.get(label)
+        if i is None:
+            i = len(ids)
+            ids[label] = i
+        return i
+
+    def vertex_bit(self, label: Hashable) -> int:
+        return 1 << self.vertex_id(label)
+
+    def edge_bit(self, label: Hashable) -> int:
+        return 1 << self.edge_id(label)
+
+    def vertex_mask(self, labels: Iterable) -> int:
+        m = 0
+        for label in labels:
+            m |= 1 << self.vertex_id(label)
+        return m
+
+    def edge_mask(self, labels: Iterable) -> int:
+        m = 0
+        for label in labels:
+            m |= 1 << self.edge_id(label)
+        return m
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertex_labels(self) -> int:
+        return len(self._vertex_ids)
+
+    @property
+    def num_edge_labels(self) -> int:
+        return len(self._edge_ids)
+
+    def snapshot(self) -> dict:
+        """JSON-able summary (for ``repro metrics`` style introspection)."""
+        return {
+            "vertex_labels": len(self._vertex_ids),
+            "edge_labels": len(self._edge_ids),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<LabelSpace |V-labels|={len(self._vertex_ids)} "
+                f"|E-labels|={len(self._edge_ids)}>")
+
+
+_GLOBAL_SPACE = LabelSpace()
+
+
+def global_labelspace() -> LabelSpace:
+    """The process-wide interner every compiled context is built against."""
+    return _GLOBAL_SPACE
+
+
+def reset_labelspace() -> LabelSpace:
+    """Replace the global space with a fresh one (test isolation only).
+
+    Contexts cached against the old space object are detected as stale by
+    :func:`target_context` because the cache stores the space identity.
+    """
+    global _GLOBAL_SPACE
+    _GLOBAL_SPACE = LabelSpace()
+    return _GLOBAL_SPACE
+
+
+class TargetContext:
+    """The compiled bitset view of one graph or closure.
+
+    Everything the matching kernels touch per vertex is a flat tuple/list
+    indexed by vertex id; nothing here aliases the source graph's mutable
+    structures.  Instances are immutable by convention and shared freely.
+    """
+
+    __slots__ = (
+        "n",
+        "vertex_masks",
+        "neighbors",
+        "adj_masks",
+        "degrees",
+        "edge_masks",
+        "edge_groups",
+        "vertex_groups",
+        "vhist",
+        "ehist",
+        "vbits",
+        "ebits",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        vertex_masks: list[int],
+        neighbors: list[tuple[int, ...]],
+        adj_masks: list[int],
+        edge_masks: list[dict[int, int]],
+        edge_groups: list[tuple[tuple[int, int], ...]],
+        vertex_groups: tuple[tuple[int, int], ...],
+        vhist: list[int],
+        ehist: list[int],
+    ) -> None:
+        self.n = n
+        self.vertex_masks = vertex_masks
+        self.neighbors = neighbors
+        self.adj_masks = adj_masks
+        self.degrees = [len(nbrs) for nbrs in neighbors]
+        self.edge_masks = edge_masks
+        self.edge_groups = edge_groups
+        self.vertex_groups = vertex_groups
+        self.vhist = vhist
+        self.ehist = ehist
+        vbits = 0
+        for i, c in enumerate(vhist):
+            if c:
+                vbits |= 1 << i
+        ebits = 0
+        for i, c in enumerate(ehist):
+            if c:
+                ebits |= 1 << i
+        self.vbits = vbits
+        self.ebits = ebits
+
+    def hist_items(self) -> tuple[tuple[tuple[int, int], ...],
+                                  tuple[tuple[int, int], ...]]:
+        """Sparse ``(id, count)`` views of the two histogram arrays."""
+        return (
+            tuple((i, c) for i, c in enumerate(self.vhist) if c),
+            tuple((i, c) for i, c in enumerate(self.ehist) if c),
+        )
+
+    def __repr__(self) -> str:
+        return f"<TargetContext |V|={self.n}>"
+
+
+def _build_graph_context(g: Graph, space: LabelSpace) -> TargetContext:
+    vertex_bit = space.vertex_bit
+    edge_bit = space.edge_bit
+    n = g.num_vertices
+    vertex_masks = [vertex_bit(g.label(v)) for v in range(n)]
+
+    neighbors: list[tuple[int, ...]] = []
+    adj_masks: list[int] = []
+    edge_masks: list[dict[int, int]] = []
+    edge_groups: list[tuple[tuple[int, int], ...]] = []
+    for v in range(n):
+        adj = g.adjacency(v)
+        neighbors.append(tuple(adj))
+        mask = 0
+        row: dict[int, int] = {}
+        groups: dict[int, int] = {}
+        for w, label in adj.items():
+            bit = 1 << w
+            mask |= bit
+            em = edge_bit(label)
+            row[w] = em
+            groups[em] = groups.get(em, 0) | bit
+        adj_masks.append(mask)
+        edge_masks.append(row)
+        edge_groups.append(tuple(groups.items()))
+
+    # Histograms mirror LabelHistogram.of(Graph): wildcard never counts.
+    vhist = [0] * space.num_vertex_labels
+    for v, m in enumerate(vertex_masks):
+        if m != WILDCARD_BIT:
+            vhist[m.bit_length() - 1] += 1
+    ehist = [0] * space.num_edge_labels
+    for _, _, label in g.edges():
+        if label is not WILDCARD:
+            ehist[space.edge_id(label)] += 1
+
+    vgroups: dict[int, int] = {}
+    for v, m in enumerate(vertex_masks):
+        vgroups[m] = vgroups.get(m, 0) | (1 << v)
+
+    return TargetContext(n, vertex_masks, neighbors, adj_masks, edge_masks,
+                         edge_groups, tuple(vgroups.items()), vhist, ehist)
+
+
+def _build_closure_context(c: GraphClosure, space: LabelSpace) -> TargetContext:
+    n = c.num_vertices
+    vertex_masks = [space.vertex_mask(c.label_set(v)) for v in range(n)]
+
+    neighbors: list[tuple[int, ...]] = []
+    adj_masks: list[int] = []
+    edge_masks: list[dict[int, int]] = []
+    edge_groups: list[tuple[tuple[int, int], ...]] = []
+    for v in range(n):
+        adj = c.adjacency(v)
+        neighbors.append(tuple(adj))
+        mask = 0
+        row: dict[int, int] = {}
+        groups: dict[int, int] = {}
+        for w, label_set in adj.items():
+            bit = 1 << w
+            mask |= bit
+            em = space.edge_mask(label_set)
+            row[w] = em
+            groups[em] = groups.get(em, 0) | bit
+        adj_masks.append(mask)
+        edge_masks.append(row)
+        edge_groups.append(tuple(groups.items()))
+
+    # Histograms mirror LabelHistogram.of(GraphClosure): ε and wildcard
+    # are skipped, every other member of a label set counts once.
+    vhist = [0] * space.num_vertex_labels
+    for v in range(n):
+        m = vertex_masks[v] & ~(WILDCARD_BIT | EPSILON_BIT)
+        while m:
+            b = m & -m
+            m ^= b
+            vhist[b.bit_length() - 1] += 1
+    ehist = [0] * space.num_edge_labels
+    for u in range(n):
+        row = edge_masks[u]
+        for w, em in row.items():
+            if u < w:
+                m = em & ~(WILDCARD_BIT | EPSILON_BIT)
+                while m:
+                    b = m & -m
+                    m ^= b
+                    ehist[b.bit_length() - 1] += 1
+
+    vgroups: dict[int, int] = {}
+    for v, m in enumerate(vertex_masks):
+        vgroups[m] = vgroups.get(m, 0) | (1 << v)
+
+    return TargetContext(n, vertex_masks, neighbors, adj_masks, edge_masks,
+                         edge_groups, tuple(vgroups.items()), vhist, ehist)
+
+
+def target_context(g: GraphLike) -> TargetContext:
+    """The compiled context of ``g``, memoized on the object.
+
+    The cache key is the identity of the global :class:`LabelSpace`;
+    mutation of ``g`` clears the cache (see ``Graph``/``GraphClosure``
+    mutators), and interning is append-only so a cached context never goes
+    stale merely because other graphs introduced new labels.
+    """
+    space = _GLOBAL_SPACE
+    try:
+        cached = g._kernel_ctx
+    except AttributeError:
+        raise TypeError(
+            f"cannot compile {type(g).__name__} to a context"
+        ) from None
+    if cached is not None and cached[0] is space:
+        return cached[1]
+    if isinstance(g, Graph):
+        ctx = _build_graph_context(g, space)
+    elif isinstance(g, GraphClosure):
+        ctx = _build_closure_context(g, space)
+    else:
+        raise TypeError(f"cannot compile {type(g).__name__} to a context")
+    g._kernel_ctx = (space, ctx)
+    return ctx

@@ -10,9 +10,17 @@ from repro.matching.bipartite_mapping import (
     bipartite_mapping_unweighted,
 )
 from repro.matching.bounds import (
+    SimilarityQueryContext,
     distance_lower_bound,
     norm,
     sim_upper_bound,
+)
+from repro.matching.kernels import (
+    QueryContext,
+    compile_query,
+    kernels_enabled,
+    set_kernels_enabled,
+    use_kernels,
 )
 from repro.matching.edit_distance import (
     MAPPING_METHODS,
@@ -48,7 +56,13 @@ from repro.matching.ullmann import (
 __all__ = [
     "MAPPING_METHODS",
     "MAX_LEVEL",
+    "QueryContext",
+    "SimilarityQueryContext",
     "bipartite_mapping",
+    "compile_query",
+    "kernels_enabled",
+    "set_kernels_enabled",
+    "use_kernels",
     "bipartite_mapping_unweighted",
     "closure_min_distance",
     "distance_lower_bound",

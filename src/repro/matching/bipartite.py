@@ -97,6 +97,8 @@ def has_semi_perfect_matching(
     side is the left partition.  Short-circuits on the obvious necessary
     conditions before running Hopcroft-Karp.
     """
+    if n_left == 0:
+        return True  # nothing to saturate; skip Hopcroft-Karp entirely
     if n_left > n_right:
         return False
     if any(len(nbrs) == 0 for nbrs in adjacency[:n_left]):

@@ -93,6 +93,97 @@ def _weighted_part(
     return max_weight_matching_value(weights)
 
 
+class _SetFamily:
+    """One side of the Eqn. (7) set matching, preprocessed once.
+
+    Caches what :func:`set_similarity_upper_bound` recomputes per call for
+    the query side: the singleton-label multiset (fast path) and the
+    label -> positions index used to build bipartite adjacency (general
+    path).  Matching cardinality is symmetric, so the index side may serve
+    as either partition.
+    """
+
+    __slots__ = ("sets", "size", "singleton", "counts", "label_index")
+
+    def __init__(self, sets: Sequence[frozenset]) -> None:
+        self.sets = sets
+        self.size = len(sets)
+        self.singleton = all(len(s) == 1 for s in sets)
+        self.counts = (
+            Counter(next(iter(s)) for s in sets) if self.singleton else None
+        )
+        label_index: dict = {}
+        for j, s in enumerate(sets):
+            for label in s:
+                label_index.setdefault(label, []).append(j)
+        self.label_index = label_index
+
+    def matching_value(self, sets2: Sequence[frozenset]) -> float:
+        """``set_similarity_upper_bound(self.sets, sets2)``, reusing the
+        preprocessed side (bit-identical result)."""
+        if not self.sets or not sets2:
+            return 0.0
+        if self.singleton and all(len(s) == 1 for s in sets2):
+            c2 = Counter(next(iter(s)) for s in sets2)
+            return float(sum((self.counts & c2).values()))
+        adjacency: list[list[int]] = []
+        for s in sets2:
+            nbrs: set[int] = set()
+            for label in s:
+                nbrs.update(self.label_index.get(label, ()))
+            adjacency.append(sorted(nbrs))
+        return float(len(hopcroft_karp(len(sets2), self.size, adjacency)))
+
+
+class SimilarityQueryContext:
+    """Query-side precomputation for similarity/distance bounds.
+
+    The K-NN and range traversals evaluate Eqn. (7) bounds against every
+    child of every expanded node; the query's label sets (and their
+    matching indexes) never change, so they are extracted once here instead
+    of per child.  All methods are bit-identical to the corresponding
+    module-level functions.
+    """
+
+    __slots__ = ("query", "num_vertices", "num_edges", "_v", "_e")
+
+    def __init__(self, query: GraphLike) -> None:
+        self.query = query
+        self.num_vertices = query.num_vertices
+        self.num_edges = query.num_edges
+        self._v = _SetFamily(vertex_label_sets(query))
+        self._e = _SetFamily(edge_label_sets(query))
+
+    def sim_upper_bound(self, target: GraphLike) -> float:
+        """Eqn. (7) against ``target`` (uniform measures)."""
+        return (
+            self._v.matching_value(vertex_label_sets(target))
+            + self._e.matching_value(edge_label_sets(target))
+        )
+
+    def distance_lower_bound(self, target: GraphLike) -> float:
+        """:func:`distance_lower_bound` against ``target``."""
+        v2 = vertex_label_sets(target)
+        e2 = edge_label_sets(target)
+        vertex_cost = max(self.num_vertices, len(v2)) - \
+            self._v.matching_value(v2)
+        edge_cost = max(self.num_edges, len(e2)) - self._e.matching_value(e2)
+        return float(vertex_cost + edge_cost)
+
+    def closure_distance_lower_bound(self, closure) -> float:
+        """Lower bound on the query's distance to any graph contained in
+        ``closure`` (the range-query pruning bound)."""
+        v_match = self._v.matching_value(vertex_label_sets(closure))
+        e_match = self._e.matching_value(edge_label_sets(closure))
+        v_cost = max(self.num_vertices, closure.min_num_vertices()) - v_match
+        e_cost = max(self.num_edges, closure.min_num_edges()) - e_match
+        return max(0.0, v_cost) + max(0.0, e_cost)
+
+    def __repr__(self) -> str:
+        return (f"<SimilarityQueryContext |V|={self.num_vertices} "
+                f"|E|={self.num_edges}>")
+
+
 def norm(g: GraphLike) -> float:
     """Edit distance to the null graph under the uniform measure:
     every vertex and edge must be inserted, costing 1 each."""
@@ -118,6 +209,7 @@ def distance_lower_bound(g1: GraphLike, g2: GraphLike) -> float:
 __all__ = [
     "set_similarity_upper_bound",
     "sim_upper_bound",
+    "SimilarityQueryContext",
     "norm",
     "distance_lower_bound",
     "uniform_set_similarity",

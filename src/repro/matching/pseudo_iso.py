@@ -20,34 +20,34 @@ uses ``B'[u',v'] = 1 iff B[u',v'] = 1``, which is what Theorem 1 states.
 ``level`` may be an ``int`` or the string ``"max"``; the latter iterates
 ``RefineBipartite`` to convergence, which Theorem 2 bounds by ``n1 * n2``
 rounds.
+
+Two interchangeable engines compute the domains: the set-based functions
+in this module (the readable reference, and the differential-testing
+oracle) and the bitmask kernels of :mod:`repro.matching.kernels` (the
+default — same algorithm compiled onto int bitsets and cached per-graph
+contexts).  ``pseudo_compatibility_domains`` dispatches on
+:func:`~repro.matching.kernels.kernels_enabled`; both engines are
+guaranteed (and fuzz-tested) to produce identical domains.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.exceptions import ConfigError
 from repro.graphs.closure import GraphLike, labels_match
-from repro.matching.bipartite import has_semi_perfect_matching, hopcroft_karp
+from repro.graphs.labelspace import target_context
+from repro.matching import kernels
+from repro.matching.bipartite import has_semi_perfect_matching
+from repro.matching.kernels import MAX_LEVEL, resolve_level as _resolve_level
 from repro.obs.metrics import global_registry
 
 Level = Union[int, str]
 
-#: hot-path counters, resolved once at import time
+#: hot-path counters, resolved once at import time (shared with kernels)
 _C_DOMAIN_CALLS = global_registry().counter("matching.pseudo_iso.domain_calls")
 _C_REFINE_ROUNDS = global_registry().counter(
     "matching.pseudo_iso.refine_rounds"
 )
-
-MAX_LEVEL = "max"
-
-
-def _resolve_level(level: Level, n1: int, n2: int) -> int:
-    if level == MAX_LEVEL:
-        return n1 * n2  # Theorem 2: convergence within n1*n2 refinements
-    if isinstance(level, int) and level >= 0:
-        return level
-    raise ConfigError(f"level must be a non-negative int or 'max', got {level!r}")
 
 
 def level0_domains(query: GraphLike, target: GraphLike) -> list[set[int]]:
@@ -100,6 +100,11 @@ def refine_bipartite(
             if dropped:
                 candidates.difference_update(dropped)
                 changed = True
+                if not candidates:
+                    # An empty domain proves the query incompatible;
+                    # finishing the round (or further rounds) cannot
+                    # change any caller-visible outcome.
+                    return domains
         if not changed:
             break
     return domains
@@ -144,7 +149,17 @@ def pseudo_compatibility_domains(
 
     This is also a valid (conservative) seed for Ullmann's algorithm — the
     Section 6.2 acceleration.
+
+    Dispatches to the bitset kernels when they are enabled (the default);
+    the set-based code below is the reference path
+    (``REPRO_PSEUDO_KERNELS=0`` or :func:`repro.matching.kernels.use_kernels`).
     """
+    if kernels.kernels_enabled():
+        return kernels.masks_to_domains(
+            kernels.pseudo_domain_masks(
+                target_context(query), target_context(target), level
+            )
+        )
     _C_DOMAIN_CALLS.value += 1
     domains = level0_domains(query, target)
     if any(not d for d in domains):
@@ -171,17 +186,14 @@ def pseudo_subgraph_isomorphic(
         return False
     if domains is None:
         domains = pseudo_compatibility_domains(query, target, level)
-    if any(not d for d in domains):
-        return False
     # Global semi-perfect matching over the refined bipartite graph.
-    adjacency = [sorted(d) for d in domains]
-    return has_semi_perfect_matching(n1, n2, adjacency)
+    return global_semi_perfect(domains, n2)
 
 
 def global_semi_perfect(domains: list[set[int]], n_target: int) -> bool:
-    """Semi-perfect matching test over precomputed domains (helper for
-    callers that keep the domains for Ullmann seeding)."""
+    """Semi-perfect matching test over precomputed domains (Definition 13;
+    also the helper for callers that keep the domains for Ullmann seeding)."""
     if any(not d for d in domains):
         return False
     adjacency = [sorted(d) for d in domains]
-    return len(hopcroft_karp(len(domains), n_target, adjacency)) == len(domains)
+    return has_semi_perfect_matching(len(domains), n_target, adjacency)

@@ -1,0 +1,322 @@
+"""Differential tests: bitset kernels vs the set-based reference.
+
+The kernels of :mod:`repro.matching.kernels` must be **bit-identical** to
+the set-based pseudo-isomorphism code they replace — same level-0 domains,
+same refined domains (including the early-exit point), same semi-perfect
+verdicts, same histogram-dominance answers, and therefore the same
+candidate sets and answers out of every index query.  These tests fuzz that
+equivalence over random graphs and closures (with ε, wildcards, and edge
+labels) and pin the end-to-end paths (in-memory tree, disk tree) with the
+kernels toggled on and off.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigError
+from repro.graphs.closure import EPSILON, WILDCARD, closure_under_mapping
+from repro.graphs.graph import Graph
+from repro.graphs.histogram import LabelHistogram
+from repro.graphs.labelspace import target_context
+from repro.matching import kernels
+from repro.matching.bipartite import has_semi_perfect_matching
+from repro.matching.bounds import (
+    SimilarityQueryContext,
+    distance_lower_bound,
+    sim_upper_bound,
+)
+from repro.matching.kernels import (
+    compile_query,
+    domains_to_masks,
+    global_semi_perfect_masks,
+    histogram_dominates,
+    level0_domain_masks,
+    masks_to_domains,
+    pseudo_domain_masks,
+    resolve_level,
+    semi_perfect_masks,
+    use_kernels,
+)
+from repro.matching.pseudo_iso import (
+    global_semi_perfect,
+    level0_domains,
+    pseudo_compatibility_domains,
+    pseudo_subgraph_isomorphic,
+    refine_bipartite,
+)
+
+VLABELS = ["A", "B", "C", WILDCARD]
+ELABELS = [None, "x", "y"]
+
+
+def random_graph(rng: random.Random, max_vertices: int = 8) -> Graph:
+    """A random graph with vertex labels (occasionally wildcard) and edge
+    labels (occasionally non-default) — the full label surface."""
+    n = rng.randint(1, max_vertices)
+    g = Graph([rng.choice(VLABELS) for _ in range(n)])
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.35:
+                g.add_edge(u, v, rng.choice(ELABELS))
+    return g
+
+
+def random_graph_like(rng: random.Random, max_vertices: int = 8):
+    """A Graph or (via a random mapping of two graphs) a GraphClosure —
+    closures exercise multi-label sets and ε on both vertices and edges."""
+    g1 = random_graph(rng, max_vertices)
+    if rng.random() < 0.5:
+        return g1
+    g2 = random_graph(rng, max_vertices)
+    n1, n2 = g1.num_vertices, g2.num_vertices
+    k = rng.randint(0, min(n1, n2))
+    us = rng.sample(range(n1), k)
+    vs = rng.sample(range(n2), k)
+    # Extended mapping: every vertex of both graphs appears exactly once,
+    # unmatched ones paired with the dummy (None).
+    pairs = list(zip(us, vs))
+    pairs += [(u, None) for u in range(n1) if u not in set(us)]
+    pairs += [(None, v) for v in range(n2) if v not in set(vs)]
+    return closure_under_mapping(g1, g2, pairs)
+
+
+def reference_domains(query, target, level):
+    with use_kernels(False):
+        return pseudo_compatibility_domains(query, target, level)
+
+
+class TestKernelEquivalence:
+    """Seeded differential fuzz over all kernel layers."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_domains_and_verdicts_match(self, seed):
+        rng = random.Random(seed)
+        for trial in range(60):
+            query = random_graph(rng, 6)
+            target = random_graph_like(rng, 8)
+            level = rng.choice([0, 1, 2, "max"])
+            qc, tc = target_context(query), target_context(target)
+
+            ref0 = level0_domains(query, target)
+            assert masks_to_domains(level0_domain_masks(qc, tc)) == ref0
+
+            ref = reference_domains(query, target, level)
+            masks = pseudo_domain_masks(qc, tc, level)
+            assert masks_to_domains(masks) == ref, (seed, trial, level)
+
+            ref_verdict = global_semi_perfect(ref, target.num_vertices)
+            assert global_semi_perfect_masks(masks) == ref_verdict
+            with use_kernels(True):
+                assert pseudo_subgraph_isomorphic(
+                    query, target, level) == ref_verdict
+            with use_kernels(False):
+                assert pseudo_subgraph_isomorphic(
+                    query, target, level) == ref_verdict
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_closure_vs_closure(self, seed):
+        rng = random.Random(1000 + seed)
+        for _ in range(25):
+            query = random_graph_like(rng, 6)
+            target = random_graph_like(rng, 8)
+            level = rng.choice([1, "max"])
+            masks = pseudo_domain_masks(
+                target_context(query), target_context(target), level)
+            assert masks_to_domains(masks) == reference_domains(
+                query, target, level)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_histogram_dominance_matches(self, seed):
+        rng = random.Random(2000 + seed)
+        for _ in range(40):
+            query = random_graph(rng, 6)
+            target = random_graph_like(rng, 8)
+            ref = LabelHistogram.of(target).dominates(LabelHistogram.of(query))
+            got = histogram_dominates(target_context(target),
+                                      compile_query(query))
+            assert got == ref
+
+    def test_early_exit_leaves_identical_domains(self):
+        # A query whose refinement provably empties a domain mid-round:
+        # both engines must stop at the same point with the same contents.
+        query = Graph(["A", "A", "B"], [(0, 1), (1, 2)])
+        target = Graph(["A", "A", "B", "C"], [(0, 1), (2, 3)])
+        ref = reference_domains(query, target, "max")
+        masks = pseudo_domain_masks(
+            target_context(query), target_context(target), "max")
+        assert masks_to_domains(masks) == ref
+        assert any(not d for d in ref)  # the exit actually triggered
+
+
+class TestSemiPerfectMasks:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_hopcroft_karp(self, seed):
+        rng = random.Random(seed)
+        for _ in range(80):
+            n_left = rng.randint(0, 6)
+            n_right = rng.randint(0, 7)
+            rows = [
+                [v for v in range(n_right) if rng.random() < 0.4]
+                for _ in range(n_left)
+            ]
+            ref = has_semi_perfect_matching(n_left, n_right, rows)
+            masks = domains_to_masks([set(r) for r in rows])
+            assert global_semi_perfect_masks(masks) == ref
+
+    def test_empty_left_side_is_saturated(self):
+        assert semi_perfect_masks([]) is True
+        assert global_semi_perfect_masks([]) is True
+        assert has_semi_perfect_matching(0, 3, [])
+
+    def test_augmenting_path_needed(self):
+        # Greedy assigns row0->bit0; row1 forces an augmenting path.
+        assert semi_perfect_masks([0b01, 0b01]) is False
+        assert semi_perfect_masks([0b11, 0b01]) is True
+
+
+@st.composite
+def labeled_graphs(draw, max_vertices=6):
+    n = draw(st.integers(1, max_vertices))
+    g = Graph([draw(st.sampled_from(VLABELS)) for _ in range(n)])
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                g.add_edge(u, v, draw(st.sampled_from(ELABELS)))
+    return g
+
+
+class TestKernelProperties:
+    @given(labeled_graphs(), labeled_graphs(max_vertices=8),
+           st.sampled_from([0, 1, 2, "max"]))
+    @settings(max_examples=60, deadline=None)
+    def test_domains_bit_identical(self, query, target, level):
+        masks = pseudo_domain_masks(
+            target_context(query), target_context(target), level)
+        assert masks_to_domains(masks) == reference_domains(
+            query, target, level)
+
+    @given(labeled_graphs(), labeled_graphs(max_vertices=8))
+    @settings(max_examples=60, deadline=None)
+    def test_refine_fixpoint_bit_identical(self, query, target):
+        ref = level0_domains(query, target)
+        if any(not d for d in ref):
+            return  # reference never refines an already-failed seeding
+        with use_kernels(False):
+            ref = refine_bipartite(query, target, ref, "max")
+        masks = kernels.refine_bipartite_masks(
+            target_context(query), target_context(target),
+            level0_domain_masks(target_context(query),
+                                target_context(target)), "max")
+        assert masks_to_domains(masks) == ref
+
+    @given(labeled_graphs(), labeled_graphs(max_vertices=8))
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_context_bit_identical(self, g1, g2):
+        sqc = SimilarityQueryContext(g1)
+        assert sqc.sim_upper_bound(g2) == sim_upper_bound(g1, g2)
+        assert sqc.distance_lower_bound(g2) == distance_lower_bound(g1, g2)
+
+
+class TestRoundTrips:
+    def test_masks_domains_round_trip(self):
+        domains = [set(), {0, 2, 5}, {63}, {1}]
+        assert masks_to_domains(domains_to_masks(domains)) == domains
+
+    def test_resolve_level(self):
+        assert resolve_level(0, 3, 4) == 0
+        assert resolve_level(2, 3, 4) == 2
+        assert resolve_level("max", 3, 4) == 12
+        with pytest.raises(ConfigError):
+            resolve_level(-1, 3, 4)
+        with pytest.raises(ConfigError):
+            resolve_level("huge", 3, 4)
+
+    def test_toggle(self):
+        assert kernels.kernels_enabled()
+        with use_kernels(False):
+            assert not kernels.kernels_enabled()
+            with use_kernels(True):
+                assert kernels.kernels_enabled()
+            assert not kernels.kernels_enabled()
+        assert kernels.kernels_enabled()
+
+
+class TestEndToEnd:
+    """Kernels on vs off: identical index behavior, not just verdicts."""
+
+    @pytest.fixture(scope="class")
+    def tree_and_db(self, request):
+        from repro.ctree.bulkload import bulk_load
+        from repro.datasets.chemical import (
+            ChemicalConfig,
+            generate_chemical_database,
+        )
+
+        db = generate_chemical_database(
+            40, seed=9,
+            config=ChemicalConfig(mean_vertices=12, large_fraction=0.0),
+        )
+        return bulk_load(db, min_fanout=3), db
+
+    def _queries(self, db):
+        from repro.datasets.queries import generate_subgraph_queries
+
+        return generate_subgraph_queries(db, 4, 6, seed=5)
+
+    def test_subgraph_query_identical(self, tree_and_db):
+        from repro.ctree.subgraph_query import subgraph_query
+
+        tree, db = tree_and_db
+        for level in (1, "max"):
+            for query in self._queries(db):
+                with use_kernels(True):
+                    ans_k, st_k = subgraph_query(tree, query, level=level)
+                with use_kernels(False):
+                    ans_r, st_r = subgraph_query(tree, query, level=level)
+                assert ans_k == ans_r
+                assert st_k.candidates == st_r.candidates
+                assert st_k.pseudo_tests == st_r.pseudo_tests
+                assert st_k.pseudo_survivors == st_r.pseudo_survivors
+                assert st_k.histogram_tests == st_r.histogram_tests
+
+    def test_unverified_candidates_identical(self, tree_and_db):
+        from repro.ctree.subgraph_query import subgraph_query
+
+        tree, db = tree_and_db
+        for query in self._queries(db):
+            with use_kernels(True):
+                cand_k, _ = subgraph_query(tree, query, verify=False)
+            with use_kernels(False):
+                cand_r, _ = subgraph_query(tree, query, verify=False)
+            assert cand_k == cand_r
+
+    def test_disk_query_identical(self, tree_and_db, tmp_path):
+        from repro.ctree.diskindex import DiskCTree
+
+        tree, db = tree_and_db
+        path = tmp_path / "kernels.ctp"
+        with DiskCTree.create(tree, path, cache_pages=32) as disk:
+            for query in self._queries(db)[:3]:
+                with use_kernels(True):
+                    ans_k, st_k = disk.subgraph_query(query)
+                with use_kernels(False):
+                    ans_r, st_r = disk.subgraph_query(query)
+                assert ans_k == ans_r
+                assert st_k.candidates == st_r.candidates
+                assert st_k.pseudo_survivors == st_r.pseudo_survivors
+
+    def test_knn_identical_with_and_without_context(self, tree_and_db):
+        # K-NN does not use the bitset kernels, but its bound path moved to
+        # SimilarityQueryContext; pin it against the linear scan.
+        from repro.ctree.similarity_query import knn_query, linear_scan_knn
+
+        tree, db = tree_and_db
+        query = self._queries(db)[0]
+        results, _ = knn_query(tree, query, k=3)
+        reference = linear_scan_knn(dict(enumerate(db)), query, k=3)
+        assert [gid for gid, _ in results] == [gid for gid, _ in reference]

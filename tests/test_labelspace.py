@@ -1,0 +1,216 @@
+"""Tests for the label interner and compiled target contexts.
+
+Covers the tentpole's substrate: interning is append-only with the
+wildcard/ε bits reserved, ``masks_match`` is exactly ``labels_match``,
+contexts are memoized per object and invalidated by every mutator, and
+pickling never smuggles process-local masks across process boundaries.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.graphs.closure import (
+    EPSILON,
+    WILDCARD,
+    GraphClosure,
+    labels_match,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.histogram import LabelHistogram
+from repro.graphs.labelspace import (
+    EPSILON_BIT,
+    WILDCARD_BIT,
+    LabelSpace,
+    global_labelspace,
+    masks_match,
+    target_context,
+)
+
+from conftest import random_labeled_graph, triangle
+
+
+class TestLabelSpace:
+    def test_reserved_ids(self):
+        space = LabelSpace()
+        assert space.vertex_id(WILDCARD) == 0
+        assert space.vertex_id(EPSILON) == 1
+        assert space.edge_id(WILDCARD) == 0
+        assert space.edge_id(EPSILON) == 1
+        assert space.vertex_bit(WILDCARD) == WILDCARD_BIT
+        assert space.vertex_bit(EPSILON) == EPSILON_BIT
+
+    def test_interning_is_stable_and_append_only(self):
+        space = LabelSpace()
+        a = space.vertex_id("A")
+        b = space.vertex_id("B")
+        assert a != b
+        assert space.vertex_id("A") == a  # stable on re-intern
+        before = space.num_vertex_labels
+        space.vertex_id("A")
+        assert space.num_vertex_labels == before  # no growth on hits
+
+    def test_vertex_and_edge_namespaces_are_independent(self):
+        space = LabelSpace()
+        assert space.vertex_id("x") == space.edge_id("x")  # both next free id
+        space.vertex_id("y")
+        # Interning on the vertex side did not advance the edge side.
+        assert space.num_vertex_labels == 4
+        assert space.num_edge_labels == 3
+
+    def test_mask_of_label_set(self):
+        space = LabelSpace()
+        m = space.vertex_mask({"A", "B"})
+        assert m == space.vertex_bit("A") | space.vertex_bit("B")
+        assert space.snapshot()["vertex_labels"] == 4  # wildcard, ε, A, B
+
+
+class TestMasksMatch:
+    def test_matches_labels_match_exhaustively(self):
+        """masks_match == labels_match over every pair of small label sets
+        drawn from {A, B, C, ε, *}."""
+        space = global_labelspace()
+        universe = ["A", "B", "C", EPSILON, WILDCARD]
+        rng = random.Random(7)
+        sets = [frozenset(rng.sample(universe, rng.randint(1, 3)))
+                for _ in range(60)]
+        for s1 in sets:
+            for s2 in sets:
+                m1, m2 = space.vertex_mask(s1), space.vertex_mask(s2)
+                assert masks_match(m1, m2) == labels_match(s1, s2), (s1, s2)
+
+    def test_wildcard_matches_everything(self):
+        assert masks_match(WILDCARD_BIT, 1 << 9)
+        assert masks_match(1 << 9, WILDCARD_BIT)
+        assert masks_match(WILDCARD_BIT, WILDCARD_BIT)
+
+    def test_epsilon_is_an_ordinary_value(self):
+        # ε matches ε (two closures can both relax to the dummy) but does
+        # not match a disjoint real label — exactly labels_match semantics.
+        assert masks_match(EPSILON_BIT, EPSILON_BIT)
+        assert not masks_match(EPSILON_BIT, 1 << 5)
+        assert labels_match(frozenset([EPSILON]), frozenset([EPSILON]))
+        assert not labels_match(frozenset([EPSILON]), frozenset(["Q"]))
+
+
+class TestContextCaching:
+    def test_context_is_memoized(self):
+        g = triangle()
+        assert target_context(g) is target_context(g)
+
+    def test_mutators_invalidate(self):
+        g = triangle()
+        ctx = target_context(g)
+
+        g.add_vertex("D")
+        ctx2 = target_context(g)
+        assert ctx2 is not ctx
+        assert ctx2.n == 4
+
+        g.add_edge(0, 3)
+        ctx3 = target_context(g)
+        assert ctx3 is not ctx2
+        assert 3 in ctx3.neighbors[0]
+
+        g.set_label(3, "E")
+        ctx4 = target_context(g)
+        assert ctx4 is not ctx3
+        assert ctx4.vertex_masks[3] == global_labelspace().vertex_bit("E")
+
+        g.remove_edge(0, 3)
+        ctx5 = target_context(g)
+        assert ctx5 is not ctx4
+        assert 3 not in ctx5.neighbors[0]
+
+    def test_closure_mutators_invalidate(self):
+        c = GraphClosure([{"A"}, {"B"}])
+        c.add_edge(0, 1, {"x"})
+        ctx = target_context(c)
+        c.add_vertex({"C", EPSILON})
+        ctx2 = target_context(c)
+        assert ctx2 is not ctx and ctx2.n == 3
+        c.add_edge(1, 2, {"y", EPSILON})
+        assert target_context(c) is not ctx2
+
+    def test_copy_does_not_share_cache(self):
+        g = triangle()
+        ctx = target_context(g)
+        h = g.copy()
+        assert target_context(h) is not ctx  # fresh object, fresh context
+        assert target_context(g) is ctx  # original cache untouched
+
+    def test_pickle_drops_cache(self):
+        g = triangle()
+        target_context(g)
+        h = pickle.loads(pickle.dumps(g))
+        assert h == g
+        assert h._kernel_ctx is None
+        # And the unpickled graph compiles fine on its own.
+        assert target_context(h).n == 3
+
+        c = GraphClosure([{"A", EPSILON}])
+        target_context(c)
+        c2 = pickle.loads(pickle.dumps(c))
+        assert c2._kernel_ctx is None
+        assert target_context(c2).n == 1
+
+
+class TestContextContents:
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            target_context(object())
+
+    def test_graph_context_matches_graph(self):
+        rng = random.Random(3)
+        g = random_labeled_graph(rng, 9)
+        ctx = target_context(g)
+        space = global_labelspace()
+        assert ctx.n == g.num_vertices
+        for v in g.vertices():
+            assert ctx.vertex_masks[v] == space.vertex_bit(g.label(v))
+            assert set(ctx.neighbors[v]) == set(g.neighbors(v))
+            assert ctx.degrees[v] == len(list(g.neighbors(v)))
+            for w in g.neighbors(v):
+                assert ctx.adj_masks[v] & (1 << w)
+
+    def test_vertex_groups_partition_vertices(self):
+        rng = random.Random(4)
+        g = random_labeled_graph(rng, 8, num_labels=2)
+        ctx = target_context(g)
+        union = 0
+        for mask, members in ctx.vertex_groups:
+            assert union & members == 0  # disjoint
+            union |= members
+            m = members
+            while m:
+                b = m & -m
+                m ^= b
+                assert ctx.vertex_masks[b.bit_length() - 1] == mask
+        assert union == (1 << g.num_vertices) - 1
+
+    def _hist_as_counts(self, ctx, space):
+        vitems, eitems = ctx.hist_items()
+        inv_v = {i: lab for lab, i in space._vertex_ids.items()}
+        inv_e = {i: lab for lab, i in space._edge_ids.items()}
+        counts = {}
+        for i, c in vitems:
+            counts[(0, inv_v[i])] = c
+        for i, c in eitems:
+            counts[(1, inv_e[i])] = c
+        return counts
+
+    def test_histograms_equal_label_histogram(self):
+        rng = random.Random(5)
+        space = global_labelspace()
+        for _ in range(10):
+            g = random_labeled_graph(rng, 7)
+            assert (self._hist_as_counts(target_context(g), space)
+                    == dict(LabelHistogram.of(g)._counts))
+        c = GraphClosure([{"A", "B"}, {"B", EPSILON}, {WILDCARD}])
+        c.add_edge(0, 1, {"x", EPSILON})
+        c.add_edge(1, 2, {"y"})
+        assert (self._hist_as_counts(target_context(c), space)
+                == dict(LabelHistogram.of(c)._counts))
