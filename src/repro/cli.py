@@ -8,6 +8,10 @@ Gives the library's main workflows a shell-level surface:
 - ``query``    — run a subgraph query against a saved index;
 - ``knn`` / ``range`` — similarity queries against a saved index;
 - ``info``     — statistics of a database or saved index;
+- ``recover``  — replay a disk index's write-ahead log after a crash and
+  validate the result;
+- ``fsck``     — integrity-check a disk index (checksums, page
+  accounting, closure containment);
 - ``trace``    — run a subgraph query with span tracing on, writing a
   JSONL trace (or summarize an existing trace file);
 - ``metrics``  — run a subgraph query and dump the metrics-registry
@@ -255,6 +259,25 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    result = DiskCTree.recover(args.input, deep=args.deep)
+    print(result.summary())
+    if not result.storage.initialized:
+        print("no committed index state exists at this path")
+        return 1
+    return 0 if result.ok else 1
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    report = DiskCTree.fsck(args.input, deep=args.deep)
+    print(report.summary())
+    for note in report.notes:
+        print(f"note: {note}")
+    for error in report.errors:
+        print(f"error: {error}")
+    return 0 if report.clean else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -358,6 +381,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-i", "--input", required=True,
                    help="*.jsonl database, *.json snapshot or *.ctp index")
     p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser(
+        "recover",
+        help="replay a crashed disk index's WAL and validate the result",
+    )
+    p.add_argument("-i", "--input", required=True, help="*.ctp disk index")
+    p.add_argument("--deep", action="store_true",
+                   help="also pseudo-match leaf graphs into their closures")
+    p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser(
+        "fsck",
+        help="integrity-check a disk index without modifying it",
+    )
+    p.add_argument("-i", "--input", required=True, help="*.ctp disk index")
+    p.add_argument("--deep", action="store_true",
+                   help="also pseudo-match leaf graphs into their closures")
+    p.set_defaults(func=cmd_fsck)
 
     return parser
 

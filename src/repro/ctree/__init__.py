@@ -9,7 +9,13 @@ from repro.ctree.cost_model import (
     mean_fanout,
     per_level_averages,
 )
-from repro.ctree.diskindex import DiskCTree, DiskKnnStats, DiskQueryStats
+from repro.ctree.diskindex import (
+    DiskCTree,
+    DiskKnnStats,
+    DiskQueryStats,
+    DiskRecovery,
+    FsckReport,
+)
 from repro.ctree.node import CTreeNode, LeafEntry
 from repro.ctree.persistence import (
     index_size_bytes,
@@ -17,6 +23,7 @@ from repro.ctree.persistence import (
     save_tree,
     tree_from_dict,
     tree_to_dict,
+    validate_tree,
 )
 from repro.ctree.similarity_query import (
     closure_distance_lower_bound,
@@ -38,6 +45,8 @@ __all__ = [
     "DiskCTree",
     "DiskKnnStats",
     "DiskQueryStats",
+    "DiskRecovery",
+    "FsckReport",
     "KnnStats",
     "LeafEntry",
     "QueryStats",
@@ -58,4 +67,5 @@ __all__ = [
     "subgraph_query",
     "tree_from_dict",
     "tree_to_dict",
+    "validate_tree",
 ]

@@ -7,6 +7,14 @@ reading nodes on demand through an LRU buffer pool.  The interesting
 quantity is page I/O per query as a function of cache capacity, which
 ``benchmarks/bench_ablation_diskio.py`` sweeps.
 
+The index is crash-safe by default: a sidecar write-ahead log
+(``index.ctp.wal``) makes :meth:`DiskCTree.create` and
+:meth:`DiskCTree.append` atomic — after a crash,
+:meth:`DiskCTree.recover` (or opening with ``auto_recover=True``)
+replays the log to the last committed generation and
+:meth:`DiskCTree.fsck` validates the result (checksums, page
+accounting, closure containment).  See ``docs/DURABILITY.md``.
+
 Usage::
 
     tree = bulk_load(graphs, ...)
@@ -15,14 +23,18 @@ Usage::
         print(stats.page_misses, stats.page_hits)
 
     with DiskCTree.open("index.ctp") as disk:   # later, cold
-        ...
+        disk.append(more_graphs)
 """
 
 from __future__ import annotations
 
 import json
+import struct
 import time
-from repro.exceptions import PersistenceError
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.exceptions import ChecksumError, PersistenceError
 from repro.graphs.closure import GraphClosure
 from repro.graphs.graph import Graph
 from repro.graphs.histogram import LabelHistogram
@@ -36,14 +48,24 @@ from repro.matching.pseudo_iso import (
 )
 from repro.matching.ullmann import subgraph_isomorphic
 from repro.obs import trace
+from repro.obs.metrics import global_registry
 from repro.ctree.node import CTreeNode, LeafEntry
 from repro.ctree.stats import CounterField, KnnStats, QueryStats
 from repro.ctree.tree import CTree
 from repro.storage.bufferpool import BufferPool
-from repro.storage.pagefile import PageFile, PathLike
+from repro.storage.pagefile import NO_PAGE, PageFile, PathLike
 from repro.storage.recordstore import RecordStore
+from repro.storage.wal import (
+    RecoveryReport,
+    WriteAheadLog,
+    needs_recovery,
+    recover as storage_recover,
+    wal_path,
+)
 
-_FORMAT = 1
+_FORMAT = 2
+
+_U64 = struct.Struct("<Q")
 
 
 class DiskQueryStats(QueryStats):
@@ -88,12 +110,77 @@ class DiskKnnStats(KnnStats):
         return self.page_hits / total if total else 0.0
 
 
-class DiskCTree:
-    """A read-only, page-resident snapshot of a C-tree."""
+@dataclass
+class FsckReport:
+    """What :meth:`DiskCTree.fsck` found, machine-readable for tests and
+    the CLI.  ``errors`` are integrity violations (``clean`` is their
+    absence); ``notes`` are benign observations."""
 
-    def __init__(self, store: RecordStore, meta: dict) -> None:
+    path: str
+    deep: bool = False
+    errors: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    pages: int = 0
+    reachable_pages: int = 0
+    free_pages: int = 0
+    nodes: int = 0
+    graphs: int = 0
+    generation: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def issue(self, message: str) -> None:
+        self.errors.append(message)
+
+    def summary(self) -> str:
+        status = "clean" if self.clean else \
+            f"{len(self.errors)} error(s) found"
+        parts = [
+            f"{self.path}: {status}",
+            f"{self.pages} pages ({self.reachable_pages} reachable, "
+            f"{self.free_pages} free)",
+            f"{self.nodes} nodes, {self.graphs} graphs, "
+            f"generation {self.generation}",
+        ]
+        if self.deep:
+            parts.append("deep closure checks on")
+        return ", ".join(parts)
+
+
+@dataclass
+class DiskRecovery:
+    """Combined result of :meth:`DiskCTree.recover`: the storage-level
+    WAL replay plus the post-recovery integrity check."""
+
+    storage: RecoveryReport
+    fsck: Optional[FsckReport] = None
+
+    @property
+    def ok(self) -> bool:
+        if not self.storage.initialized:
+            # No committed index ever existed; there is nothing to
+            # validate, and nothing was lost.
+            return True
+        return self.fsck is None or self.fsck.clean
+
+    def summary(self) -> str:
+        lines = [self.storage.summary()]
+        if self.fsck is not None:
+            lines.append(self.fsck.summary())
+        return "\n".join(lines)
+
+
+class DiskCTree:
+    """A page-resident C-tree: queries read records on demand, and
+    (when WAL-backed) batches of graphs can be appended crash-safely."""
+
+    def __init__(self, store: RecordStore, meta: dict,
+                 path: Optional[PathLike] = None) -> None:
         self._store = store
         self._meta = meta
+        self._path = path
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -106,11 +193,87 @@ class DiskCTree:
         path: PathLike,
         page_size: int = 4096,
         cache_pages: int = 128,
+        wal: bool = True,
+        opener=None,
     ) -> "DiskCTree":
-        """Materialize a built (in-memory) C-tree into a page file."""
-        pagefile = PageFile.create(path, page_size=page_size)
-        pool = BufferPool(pagefile, capacity=cache_pages)
+        """Materialize a built (in-memory) C-tree into a page file.
+
+        With ``wal=True`` (default) a sidecar write-ahead log makes the
+        index crash-safe: the create itself and every later
+        :meth:`append` become durable atomically at their closing
+        checkpoint, and :meth:`recover` restores the last committed
+        state after a crash.  ``wal=False`` keeps the seed's direct
+        write-back (faster, throwaway indexes only).
+        """
+        pagefile = PageFile.create(path, page_size=page_size, opener=opener)
+        log = None
+        if wal:
+            log = WriteAheadLog.create(
+                wal_path(path), page_size,
+                start_lsn=pagefile.last_lsn + 1, opener=opener,
+            )
+        pool = BufferPool(pagefile, capacity=cache_pages, wal=log)
         store = RecordStore(pool)
+        meta, meta_record = cls._write_tree(store, tree, generation=1)
+        pagefile.user_root = meta_record
+        pool.flush()
+        return cls(store, meta, path=path)
+
+    @classmethod
+    def open(
+        cls,
+        path: PathLike,
+        cache_pages: int = 128,
+        wal: bool = True,
+        opener=None,
+        auto_recover: bool = True,
+    ) -> "DiskCTree":
+        """Open an existing disk index (cold cache).
+
+        If the sidecar WAL holds records, the previous session crashed
+        mid-update; with ``auto_recover=True`` (default) the log is
+        replayed to the last committed state before the index is read,
+        otherwise opening fails.
+        """
+        if needs_recovery(path):
+            if not auto_recover:
+                raise PersistenceError(
+                    f"{path}: write-ahead log contains records; run "
+                    f"DiskCTree.recover (or `repro recover`) first"
+                )
+            storage_recover(path, opener=opener)
+        pagefile = PageFile.open(path, opener=opener)
+        log = None
+        if wal:
+            log = WriteAheadLog.open_or_create(
+                wal_path(path), pagefile.page_size,
+                start_lsn=pagefile.last_lsn + 1, opener=opener,
+            )
+        pool = BufferPool(pagefile, capacity=cache_pages, wal=log)
+        store = RecordStore(pool)
+        meta_record = pagefile.user_root
+        if meta_record == 0:
+            pool.close()
+            raise PersistenceError(f"{path}: no index metadata")
+        try:
+            meta = json.loads(store.load(meta_record).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError,
+                PersistenceError) as exc:
+            pool.close()
+            raise PersistenceError(f"{path}: corrupt metadata: {exc}") from exc
+        if meta.get("format") != _FORMAT:
+            pool.close()
+            raise PersistenceError(
+                f"{path}: unsupported format {meta.get('format')!r}"
+            )
+        return cls(store, meta, path=path)
+
+    @staticmethod
+    def _write_tree(store: RecordStore, tree: CTree,
+                    generation: int) -> tuple[dict, int]:
+        """Write every node and graph of ``tree`` as records; returns
+        ``(meta, meta_record_id)``.  Nothing is durable until the
+        enclosing checkpoint."""
 
         def write_node(node: CTreeNode) -> int:
             record: dict = {"leaf": node.is_leaf}
@@ -142,35 +305,86 @@ class DiskCTree:
             "root": root_record,
             "graph_count": len(tree),
             "height": tree.height(),
+            "generation": generation,
+            "config": {
+                "min_fanout": tree.min_fanout,
+                "max_fanout": tree.max_fanout,
+                "mapping_method": tree.mapping_method,
+                "insert_policy": tree.insert_policy_name,
+                "split_policy": tree.split_policy_name,
+            },
         }
         meta_record = store.store(
             json.dumps(meta, separators=(",", ":")).encode("utf-8")
         )
-        pagefile.user_root = meta_record
-        pool.flush()
-        return cls(store, meta)
+        return meta, meta_record
 
-    @classmethod
-    def open(cls, path: PathLike, cache_pages: int = 128) -> "DiskCTree":
-        """Open an existing disk index (cold cache)."""
-        pagefile = PageFile.open(path)
-        pool = BufferPool(pagefile, capacity=cache_pages)
-        store = RecordStore(pool)
-        meta_record = pagefile.user_root
-        if meta_record == 0:
-            pagefile.close()
-            raise PersistenceError(f"{path}: no index metadata")
-        try:
-            meta = json.loads(store.load(meta_record).decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            pagefile.close()
-            raise PersistenceError(f"{path}: corrupt metadata: {exc}") from exc
-        if meta.get("format") != _FORMAT:
-            pagefile.close()
-            raise PersistenceError(
-                f"{path}: unsupported format {meta.get('format')!r}"
-            )
-        return cls(store, meta)
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, graphs: Iterable[Graph], seed: int = 0) -> list[int]:
+        """Add a batch of graphs; returns their new graph ids.
+
+        The tree is rebuilt by re-bulk-loading the existing graphs (ids
+        preserved — :func:`~repro.ctree.bulkload.bulk_load` numbers
+        input order) followed by the new ones.  Old records are freed
+        and their pages recycled for the new generation.  The swap
+        becomes durable at the checkpoint closing this call: a crash at
+        any earlier point recovers to the previous generation intact.
+        """
+        from repro.ctree.bulkload import bulk_load
+
+        self._check_open()
+        new_graphs = list(graphs)
+        if not new_graphs:
+            return []
+        existing = dict(self.iter_graphs())
+        ordered = [existing[gid] for gid in sorted(existing)]
+        first_new = len(ordered)
+        ordered.extend(new_graphs)
+        config = self._meta.get("config", {})
+        tree = bulk_load(
+            ordered,
+            min_fanout=config.get("min_fanout", 20),
+            max_fanout=config.get("max_fanout"),
+            mapping_method=config.get("mapping_method", "nbm"),
+            insert_policy=config.get("insert_policy", "min_volume"),
+            split_policy=config.get("split_policy", "linear"),
+            seed=seed,
+        )
+        old_records = self._collect_record_ids()
+        generation = self._meta.get("generation", 1) + 1
+        for record_id in old_records:
+            self._store.delete(record_id)
+        meta, meta_record = self._write_tree(self._store, tree, generation)
+        self._store.pool.pagefile.user_root = meta_record
+        self._meta = meta
+        self.checkpoint()
+        return list(range(first_new, len(ordered)))
+
+    def checkpoint(self) -> None:
+        """Make every buffered change durable (in WAL mode: log, commit,
+        transfer into the page file, truncate the log)."""
+        self._check_open()
+        self._store.pool.flush()
+
+    def _collect_record_ids(self) -> list[int]:
+        """Every live record id: the metadata record plus all node and
+        graph records, discovered by walking the tree."""
+        records: list[int] = []
+        meta_record = self._store.pool.pagefile.user_root
+        if meta_record != NO_PAGE:
+            records.append(meta_record)
+        stack = [self._meta["root"]]
+        while stack:
+            record_id = stack.pop()
+            records.append(record_id)
+            record = self._load_record(record_id)
+            if record["leaf"]:
+                records.extend(gr for _, gr in record.get("graphs", []))
+            else:
+                stack.extend(record.get("children", []))
+        return records
 
     # ------------------------------------------------------------------
     # Accessors
@@ -181,6 +395,11 @@ class DiskCTree:
     @property
     def height(self) -> int:
         return self._meta["height"]
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped by every committed :meth:`append`."""
+        return self._meta.get("generation", 1)
 
     @property
     def pool(self) -> BufferPool:
@@ -459,6 +678,230 @@ class DiskCTree:
                           page_misses=stats.page_misses)
         stats.publish()
         return (results, stats)
+
+    # ------------------------------------------------------------------
+    # Recovery / integrity checking
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, path: PathLike, opener=None, validate: bool = True,
+                deep: bool = False) -> DiskRecovery:
+        """Bring a crashed index back to its last committed state and
+        verify it.
+
+        Replays the sidecar WAL (:func:`repro.storage.wal.recover`),
+        then runs :meth:`fsck` over the result: record chains must
+        resolve, every page must be reachable or free, and parent
+        closures must contain their children.  ``deep=True`` further
+        checks each leaf graph pseudo-isomorphic into its leaf closure.
+        """
+        storage = storage_recover(path, opener=opener)
+        report = None
+        if validate and storage.initialized:
+            report = cls.fsck(path, deep=deep, opener=opener)
+            reg = global_registry()
+            reg.counter("recovery.index_validations").value += 1
+        return DiskRecovery(storage=storage, fsck=report)
+
+    @classmethod
+    def fsck(cls, path: PathLike, deep: bool = False,
+             cache_pages: int = 256, opener=None) -> FsckReport:
+        """Integrity-check a disk index without modifying it.
+
+        Verifies page checksums, free-list sanity, record-chain
+        resolution, tree reachability (live pages and free pages must
+        tile the file exactly), graph-id uniqueness, and closure
+        containment along parent/child edges.  ``deep=True`` adds a
+        level-1 pseudo-subgraph-isomorphism test of every leaf graph
+        into its leaf closure (sound by the paper's Lemma 1: a closure
+        contains each member graph as a subgraph-with-wildcards).
+        """
+        report = FsckReport(path=str(path), deep=deep)
+        if needs_recovery(path):
+            report.issue(
+                "write-ahead log contains records; run recovery first"
+            )
+            return report
+        try:
+            pagefile = PageFile.open(path, opener=opener)
+        except PersistenceError as exc:
+            report.issue(f"cannot open page file: {exc}")
+            return report
+        # fsck is strictly read-only: suppress the header rewrite that a
+        # normal close performs.
+        pagefile.defer_header = True
+        pool = BufferPool(pagefile, capacity=cache_pages)
+        store = RecordStore(pool)
+        try:
+            cls._fsck_body(pagefile, pool, store, report, deep)
+        finally:
+            pagefile.close()
+        return report
+
+    @classmethod
+    def _fsck_body(cls, pagefile: PageFile, pool: BufferPool,
+                   store: RecordStore, report: FsckReport,
+                   deep: bool) -> None:
+        report.pages = max(pagefile.page_count - 1, 0)
+        # 1. Every allocated page must pass its checksum.
+        bad: set[int] = set()
+        for page_id in range(1, pagefile.page_count):
+            try:
+                pagefile.read_page(page_id)
+            except ChecksumError as exc:
+                report.issue(str(exc))
+                bad.add(page_id)
+        # 2. The free list must stay in range and acyclic.
+        free: set[int] = set()
+        head = pagefile.free_head
+        while head != NO_PAGE:
+            if not 1 <= head < pagefile.page_count:
+                report.issue(f"free list points at invalid page {head}")
+                break
+            if head in free:
+                report.issue(f"free list cycles back to page {head}")
+                break
+            free.add(head)
+            if head in bad:
+                report.issue(f"free list runs through corrupt page {head}")
+                break
+            (head,) = _U64.unpack_from(pool.get(head), 0)
+        report.free_pages = len(free)
+        # 3. Walk the tree: record chains must resolve, closures must
+        # contain their children.
+        reachable: set[int] = set()
+        meta = None
+        meta_record = pagefile.user_root
+        if meta_record == NO_PAGE:
+            report.notes.append("empty page file: no index metadata")
+        else:
+            meta = cls._fsck_record(store, meta_record, "meta",
+                                    reachable, report)
+        if meta is not None:
+            if meta.get("format") != _FORMAT:
+                report.issue(
+                    f"unsupported index format {meta.get('format')!r}"
+                )
+            else:
+                report.generation = meta.get("generation", 1)
+                graph_ids = cls._fsck_tree(store, meta, reachable,
+                                           report, deep)
+                report.graphs = len(graph_ids)
+                if len(graph_ids) != meta.get("graph_count"):
+                    report.issue(
+                        f"metadata says {meta.get('graph_count')} graphs, "
+                        f"tree holds {len(graph_ids)}"
+                    )
+        report.reachable_pages = len(reachable)
+        # 4. Page accounting: live and free pages must tile the file.
+        overlap = reachable & free
+        if overlap:
+            report.issue(
+                f"{len(overlap)} page(s) both reachable and free "
+                f"(e.g. page {min(overlap)})"
+            )
+        if meta is not None:
+            leaked = (set(range(1, pagefile.page_count))
+                      - reachable - free - bad)
+            if leaked:
+                report.issue(
+                    f"{len(leaked)} page(s) leaked "
+                    f"(e.g. page {min(leaked)})"
+                )
+
+    @staticmethod
+    def _fsck_record(store: RecordStore, record_id: int, what: str,
+                     reachable: set, report: FsckReport) -> Optional[dict]:
+        """Resolve one record chain and parse its JSON; report and
+        return None on any failure."""
+        try:
+            chain = store.chain_pages(record_id)
+        except (PersistenceError, struct.error) as exc:
+            report.issue(f"{what} record {record_id}: broken chain: {exc}")
+            return None
+        reachable.update(chain)
+        try:
+            return json.loads(store.load(record_id).decode("utf-8"))
+        except (PersistenceError, json.JSONDecodeError,
+                UnicodeDecodeError) as exc:
+            report.issue(f"{what} record {record_id}: unreadable: {exc}")
+            return None
+
+    @classmethod
+    def _fsck_tree(cls, store: RecordStore, meta: dict, reachable: set,
+                   report: FsckReport, deep: bool) -> set:
+        graph_ids: set[int] = set()
+        stack: list[tuple[int, Optional[LabelHistogram]]] = [
+            (meta["root"], None)
+        ]
+        while stack:
+            record_id, parent_hist = stack.pop()
+            record = cls._fsck_record(store, record_id, "node",
+                                      reachable, report)
+            if record is None:
+                continue
+            report.nodes += 1
+            closure = None
+            if "closure" in record:
+                try:
+                    closure = GraphClosure.from_dict(record["closure"])
+                except (KeyError, TypeError, ValueError,
+                        IndexError) as exc:
+                    report.issue(
+                        f"node record {record_id}: bad closure: {exc}"
+                    )
+            elif record.get("graphs") or record.get("children"):
+                report.issue(
+                    f"node record {record_id}: non-empty node without a "
+                    f"closure"
+                )
+            hist = LabelHistogram.of(closure) if closure is not None \
+                else None
+            if parent_hist is not None and hist is not None \
+                    and not parent_hist.dominates(hist):
+                report.issue(
+                    f"node record {record_id}: parent closure does not "
+                    f"contain this node's closure"
+                )
+            if record.get("leaf"):
+                for entry in record.get("graphs", []):
+                    gid, graph_record = entry
+                    if gid in graph_ids:
+                        report.issue(
+                            f"graph id {gid} appears in more than one leaf"
+                        )
+                    graph_ids.add(gid)
+                    gdata = cls._fsck_record(store, graph_record,
+                                             f"graph {gid}", reachable,
+                                             report)
+                    if gdata is None:
+                        continue
+                    try:
+                        graph = Graph.from_dict(gdata)
+                    except (KeyError, TypeError, ValueError,
+                            IndexError) as exc:
+                        report.issue(f"graph {gid}: unparseable: {exc}")
+                        continue
+                    if hist is not None \
+                            and not hist.dominates(LabelHistogram.of(graph)):
+                        report.issue(
+                            f"graph {gid}: leaf closure does not dominate "
+                            f"its label histogram"
+                        )
+                        continue
+                    if deep and closure is not None:
+                        domains = pseudo_compatibility_domains(
+                            graph, closure, 1
+                        )
+                        if not global_semi_perfect(
+                                domains, closure.num_vertices):
+                            report.issue(
+                                f"graph {gid}: not pseudo-contained in "
+                                f"its leaf closure"
+                            )
+            else:
+                for child_record in record.get("children", []):
+                    stack.append((child_record, hist))
+        return graph_ids
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

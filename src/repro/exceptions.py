@@ -29,5 +29,13 @@ class PersistenceError(ReproError):
     """Raised when (de)serialization of graphs or indexes fails."""
 
 
+class ChecksumError(PersistenceError):
+    """Raised when a stored page or header fails its integrity check."""
+
+
+class WALError(PersistenceError):
+    """Raised for malformed or unusable write-ahead log files."""
+
+
 class ConfigError(ReproError):
     """Raised for invalid experiment or index configuration values."""

@@ -1,8 +1,16 @@
-"""Disk storage substrate: page file, LRU buffer pool, record store."""
+"""Disk storage substrate: page file, LRU buffer pool, record store,
+write-ahead log, and deterministic fault injection."""
 
 from repro.storage.bufferpool import BufferPool
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, NO_PAGE, PageFile
 from repro.storage.recordstore import RecordStore
+from repro.storage.wal import (
+    RecoveryReport,
+    WriteAheadLog,
+    needs_recovery,
+    recover,
+    wal_path,
+)
 
 __all__ = [
     "BufferPool",
@@ -10,4 +18,9 @@ __all__ = [
     "NO_PAGE",
     "PageFile",
     "RecordStore",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "needs_recovery",
+    "recover",
+    "wal_path",
 ]

@@ -70,12 +70,25 @@ class RecordStore:
 
     def delete(self, record_id: int) -> None:
         """Free every page of a record."""
-        page_id = record_id
-        while page_id != NO_PAGE:
-            page = self._pool.get(page_id)
-            next_page, _ = _CHAIN_HEADER.unpack_from(page, 0)
+        for page_id in self.chain_pages(record_id):
             self._pool.free(page_id)
-            page_id = next_page
+
+    def chain_pages(self, record_id: int) -> list[int]:
+        """The page ids forming a record's chain, head first (``fsck``
+        walks these to compute page reachability)."""
+        pages: list[int] = []
+        page_id = record_id
+        seen: set[int] = set()
+        while page_id != NO_PAGE:
+            if page_id in seen:
+                raise PersistenceError(
+                    f"corrupt record chain: page {page_id} repeats"
+                )
+            seen.add(page_id)
+            pages.append(page_id)
+            page = self._pool.get(page_id)
+            (page_id,) = struct.unpack_from("<Q", page, 0)
+        return pages
 
     # ------------------------------------------------------------------
     def _split(self, data: bytes) -> list[bytes]:

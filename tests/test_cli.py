@@ -149,6 +149,89 @@ class TestSimilarityCommands:
         assert "within distance" in capsys.readouterr().out
 
 
+class TestRecoverFsckCommands:
+    def _crashed_index(self, root):
+        """Build a disk index, then crash the process-model partway
+        through an append so the WAL holds work the page file lacks."""
+        from repro.ctree.diskindex import DiskCTree
+        from repro.datasets.chemical import (ChemicalConfig,
+                                             generate_chemical_database)
+        from repro.storage.faultfs import (FaultInjector, FaultPlan,
+                                           SimulatedCrash)
+
+        path = root / "crash.ctp"
+        base = generate_chemical_database(
+            10, seed=5, config=ChemicalConfig(mean_vertices=8,
+                                              large_fraction=0.0))
+        extra = generate_chemical_database(
+            4, seed=6, config=ChemicalConfig(mean_vertices=8,
+                                             large_fraction=0.0))
+        from repro.ctree.bulkload import bulk_load
+        tree = bulk_load(base, min_fanout=2, max_fanout=4)
+        disk = DiskCTree.create(tree, path, page_size=256, cache_pages=6)
+        disk.close()
+
+        # Find how many mutating ops a full append takes, then replay it
+        # under an injector that dies somewhere in the middle.
+        counter = FaultInjector.counting()
+        probe = root / "probe.ctp"
+        import shutil
+        shutil.copy(path, probe)
+        d = DiskCTree.open(probe, cache_pages=6, opener=counter.opener)
+        d.append(extra)
+        d.close()
+        crash_at = max(2, counter.ops // 2)
+
+        injector = FaultInjector(FaultPlan(crash_at_op=crash_at, seed=1))
+        d = DiskCTree.open(path, cache_pages=6, opener=injector.opener)
+        try:
+            d.append(extra)
+            d.close()
+        except SimulatedCrash:
+            pass
+        return path
+
+    def test_fsck_clean_index(self, workspace, capsys):
+        _, _, _, disk = workspace
+        assert main(["fsck", "-i", str(disk)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fsck_deep_clean_index(self, workspace, capsys):
+        _, _, _, disk = workspace
+        assert main(["fsck", "-i", str(disk), "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "deep closure checks on" in out
+
+    def test_recover_clean_index_is_noop(self, workspace, capsys):
+        _, _, _, disk = workspace
+        assert main(["recover", "-i", str(disk)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_crash_fsck_recover_fsck_cycle(self, tmp_path, capsys):
+        path = self._crashed_index(tmp_path)
+        # A crashed index refuses fsck until recovered.
+        assert main(["fsck", "-i", str(path)]) == 1
+        assert "error" in capsys.readouterr().out
+        # Recovery replays (or discards) the WAL and validates the tree.
+        assert main(["recover", "-i", str(path), "--deep"]) == 0
+        capsys.readouterr()
+        # After recovery the index checks out clean and is queryable.
+        assert main(["fsck", "-i", str(path), "--deep"]) == 0
+        assert "clean" in capsys.readouterr().out
+        query = json.dumps({"labels": ["C", "C"], "edges": [[0, 1]]})
+        assert main(["query", "-t", str(path), "-q", query]) == 0
+
+    def test_recover_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.ctp"
+        assert main(["recover", "-i", str(missing)]) == 1
+        assert "no committed index state" in capsys.readouterr().out
+
+    def test_fsck_missing_file(self, tmp_path, capsys):
+        assert main(["fsck", "-i", str(tmp_path / "nope.ctp")]) == 1
+        captured = capsys.readouterr()
+        assert "error" in captured.out + captured.err
+
+
 class TestObservabilityCommands:
     QUERY = json.dumps({"labels": ["C", "C"], "edges": [[0, 1]]})
 

