@@ -1,0 +1,152 @@
+"""Batched query engine benchmark: serving throughput vs the serial loop.
+
+Serves a query-log-like batch (|D|=150 chemical graphs, 20 distinct
+queries repeated with Zipf-ish skew to 150 total — see
+:func:`repro.experiments.subgraph_experiments.skewed_query_log`) once with
+the plain per-query loop and once through
+:class:`~repro.ctree.parallel.QueryEngine` at each configured worker
+count, asserting
+
+(a) answers bit-identical to the serial loop at every worker count, and
+(b) the measured throughput gain that justifies the engine's existence
+    (>= 2.5x at full scale; ``--quick`` only guards against regressions).
+
+On a single-core box the gain comes from batch deduplication and the
+answer cache (the skewed log executes ~20 distinct queries instead of
+150); multiprocess fan-out adds on top when cores are available.
+
+Writes ``BENCH_engine.json`` at the repo root (schema
+``engine-bench-v1``, uploaded as a CI artifact by the bench-smoke job)
+in addition to the usual ``record_figure`` table + ``BENCH_ctree.json``
+entry.
+"""
+
+from __future__ import annotations
+
+import json
+
+import conftest
+from conftest import (
+    ENGINE,
+    ENGINE_BENCH_JSON,
+    ENGINE_BENCH_SCHEMA,
+    record_figure,
+)
+
+from repro.ctree.parallel import QueryEngine
+from repro.ctree.subgraph_query import subgraph_query
+from repro.datasets.queries import generate_subgraph_queries
+from repro.experiments.subgraph_experiments import (
+    run_throughput_experiment,
+    skewed_query_log,
+)
+
+#: Required engine-vs-serial speedup at the highest worker count, full
+#: scale.  ``--quick`` shrinks the batch until pool startup and fork
+#: overheads matter, so the gate there is identity + a token floor.
+MIN_SPEEDUP = 2.5
+MIN_SPEEDUP_QUICK = 1.0
+
+
+def test_engine_throughput(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    result = run_throughput_experiment(ENGINE, dataset="chemical")
+
+    # The hard gate: bit-identical answers at every worker count.
+    assert all(result.identical), (
+        f"engine answers diverged from the serial loop at workers="
+        f"{[w for w, ok in zip(result.workers, result.identical) if not ok]}"
+    )
+
+    record_figure(
+        "engine_throughput",
+        f"Batched serving: engine vs serial loop (chemical, "
+        f"|D|={result.database_size}, {result.unique_queries} distinct "
+        f"queries x {result.batch_size} served)",
+        "workers",
+        result.workers,
+        {
+            "engine (s)": result.engine_seconds,
+            "throughput (q/s)": result.throughput,
+            "speedup vs serial": result.speedup,
+            "cache hit rate": result.cache_hit_rate,
+        },
+        float_format="{:.3f}",
+    )
+
+    best = result.speedup[-1]
+    floor = MIN_SPEEDUP_QUICK if conftest._QUICK else MIN_SPEEDUP
+    payload = {
+        "schema": ENGINE_BENCH_SCHEMA,
+        "quick": conftest._QUICK,
+        "workload": {
+            "dataset": result.dataset,
+            "database_size": result.database_size,
+            "unique_queries": result.unique_queries,
+            "batch_size": result.batch_size,
+            "query_size": ENGINE.query_size,
+            "cache_size": ENGINE.cache_size,
+            "seed": ENGINE.seed,
+        },
+        "serial_seconds": result.serial_seconds,
+        "serial_throughput": result.serial_throughput,
+        "runs": [
+            {
+                "workers": w,
+                "seconds": s,
+                "throughput": t,
+                "speedup": sp,
+                "cache_hit_rate": hr,
+                "dispatched": d,
+                "identical": ok,
+            }
+            for w, s, t, sp, hr, d, ok in zip(
+                result.workers, result.engine_seconds, result.throughput,
+                result.speedup, result.cache_hit_rate, result.dispatched,
+                result.identical,
+            )
+        ],
+        "gate": {
+            "min_speedup": floor,
+            "achieved_speedup": best,
+            "identical_all": all(result.identical),
+        },
+    }
+    ENGINE_BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n[engine telemetry written to {ENGINE_BENCH_JSON}]")
+
+    assert best >= floor, (
+        f"engine speedup {best:.2f}x at {result.workers[-1]} workers is "
+        f"below the {floor}x floor "
+        f"(per-W: {[f'{s:.2f}' for s in result.speedup]})"
+    )
+
+
+def test_engine_warm_cache_batches(chem_tree, chem_database, benchmark):
+    """A second identical batch is served almost entirely from the
+    answer cache; answers stay equal to fresh serial runs."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    unique = generate_subgraph_queries(
+        chem_database, ENGINE.query_size, ENGINE.unique_queries,
+        seed=ENGINE.seed,
+    )
+    batch = skewed_query_log(unique, ENGINE.batch_size, ENGINE.seed)
+    serial = [subgraph_query(chem_tree, q)[0] for q in batch]
+    with QueryEngine(chem_tree, workers=1,
+                     cache_size=ENGINE.cache_size) as engine:
+        first = engine.query_many(batch)
+        cold = engine.last_batch
+        second = engine.query_many(batch)
+        warm = engine.last_batch
+    assert [a for a, _ in first] == serial
+    assert [a for a, _ in second] == serial
+    assert warm.cache_hit_rate == 1.0
+    assert warm.dispatched == 0
+    speedup = (cold.wall_seconds / warm.wall_seconds
+               if warm.wall_seconds else float("inf"))
+    print(f"\n[warm-batch speedup: {speedup:.1f}x "
+          f"(cold {cold.wall_seconds:.3f}s, warm {warm.wall_seconds:.4f}s, "
+          f"cold hit rate {cold.cache_hit_rate:.0%})]")

@@ -30,6 +30,7 @@ from repro.experiments.config import (
     KnnExperimentConfig,
     MappingQualityConfig,
     SubgraphExperimentConfig,
+    ThroughputExperimentConfig,
 )
 from repro.experiments.reporting import format_series_table, series_to_dict
 from repro.experiments.subgraph_experiments import run_query_sweep
@@ -80,6 +81,20 @@ KNN = KnnExperimentConfig(
     seed=13,
 )
 
+#: Batched-serving workload (bench_engine.py -> BENCH_engine.json).
+ENGINE = ThroughputExperimentConfig(
+    database_size=150,
+    unique_queries=20,
+    batch_size=150,
+    query_size=8,
+    min_fanout=10,
+    workers=(1, 2, 4),
+    cache_size=256,
+    seed=7,
+)
+ENGINE_BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
+ENGINE_BENCH_SCHEMA = "engine-bench-v1"
+
 _QUICK = False
 #: figure name -> JSON-able series dict, flushed to BENCH_ctree.json
 _FIGURES: dict[str, dict] = {}
@@ -96,6 +111,7 @@ def pytest_addoption(parser):
 
 def pytest_configure(config):
     global _QUICK, CHEM_SWEEP, SYNTH_SWEEP, INDEX_SIZE, MAPPING_QUALITY, KNN
+    global ENGINE
     if not config.getoption("--quick", default=False):
         return
     _QUICK = True
@@ -115,6 +131,10 @@ def pytest_configure(config):
         MAPPING_QUALITY, group_size=10, database_size=60
     )
     KNN = replace(KNN, database_size=60, ks=(1, 2, 5, 10), queries=3)
+    ENGINE = replace(
+        ENGINE, database_size=60, unique_queries=6, batch_size=30,
+        workers=(1, 2),
+    )
 
 
 def record_table(name: str, text: str, data: dict | None = None) -> None:

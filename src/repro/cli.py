@@ -5,8 +5,12 @@ Gives the library's main workflows a shell-level surface:
 - ``generate`` — write a chemical-like or synthetic graph database (JSONL);
 - ``build``    — build a C-tree over a database and save it (JSON snapshot
   or a page-file disk index);
-- ``query``    — run a subgraph query against a saved index;
+- ``query``    — run a subgraph query (or a JSONL batch of them, with
+  ``--batch``/``--workers``) against a saved index;
 - ``knn`` / ``range`` — similarity queries against a saved index;
+- ``bench``    — serve a JSONL query batch serially and through the
+  batched engine at several worker counts, verify the answers are
+  identical, and print a throughput table;
 - ``info``     — statistics of a database or saved index;
 - ``recover``  — replay a disk index's write-ahead log after a crash and
   validate the result;
@@ -36,6 +40,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.io import load_graph_database, save_graph_database
 from repro.ctree.bulkload import bulk_load
 from repro.ctree.diskindex import DiskCTree
+from repro.ctree.parallel import QueryEngine
 from repro.ctree.persistence import index_size_bytes, load_tree, save_tree
 from repro.ctree.similarity_query import knn_query, range_query
 from repro.ctree.subgraph_query import subgraph_query
@@ -117,9 +122,14 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    query = _load_query_graph(args.query)
+    if bool(args.query) == bool(args.batch):
+        raise SystemExit("error: provide exactly one of -q/--query "
+                         "or --batch")
     index = _open_index(args.tree, args.cache_pages)
     try:
+        if args.batch:
+            return _run_query_batch(args, index)
+        query = _load_query_graph(args.query)
         if isinstance(index, DiskCTree):
             answers, stats = index.subgraph_query(
                 query, level=args.level, verify=not args.no_verify
@@ -138,6 +148,96 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"accuracy={stats.accuracy:.0%} gamma={stats.access_ratio:.2f} "
         f"search={stats.search_seconds:.3f}s verify={stats.verify_seconds:.3f}s"
     )
+    return 0
+
+
+def _run_query_batch(args: argparse.Namespace, index) -> int:
+    """``repro query --batch``: serve a JSONL file of query graphs
+    through the batched engine."""
+    queries = load_graph_database(args.batch)
+    if not queries:
+        print("empty batch")
+        return 0
+    with QueryEngine(index, workers=args.workers,
+                     cache_size=args.cache_size,
+                     cache_pages=args.cache_pages) as engine:
+        results = engine.query_many(
+            queries, level=args.level, verify=not args.no_verify
+        )
+        report = engine.last_batch
+    label = "candidates" if args.no_verify else "answers"
+    for pos, (answers, _) in enumerate(results):
+        print(f"[{pos}] {label}: {sorted(answers)}")
+    print(
+        f"{report.queries} queries in {report.wall_seconds:.3f}s "
+        f"({report.throughput:.1f} q/s) workers={report.workers} "
+        f"dispatched={report.dispatched} cache_hits={report.cache_hits}"
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Serve one query batch serially and through the engine at each
+    requested worker count; gate on identical answers."""
+    queries = load_graph_database(args.queries)
+    if not queries:
+        raise SystemExit("error: empty query batch")
+    try:
+        workers_list = [int(w) for w in args.workers.split(",")]
+    except ValueError:
+        raise SystemExit(f"error: bad --workers list: {args.workers!r}")
+    index = _open_index(args.tree, args.cache_pages)
+    rows = []
+    try:
+        start = time.perf_counter()
+        if isinstance(index, DiskCTree):
+            serial = [index.subgraph_query(q, level=args.level)
+                      for q in queries]
+        else:
+            serial = [subgraph_query(index, q, level=args.level)
+                      for q in queries]
+        serial_seconds = time.perf_counter() - start
+        baseline = [answers for answers, _ in serial]
+        print(f"serial loop: {len(queries)} queries in "
+              f"{serial_seconds:.3f}s "
+              f"({len(queries) / serial_seconds:.1f} q/s)")
+        for w in workers_list:
+            with QueryEngine(index, workers=w, cache_size=args.cache_size,
+                             cache_pages=args.cache_pages) as engine:
+                results = engine.query_many(queries, level=args.level)
+                report = engine.last_batch
+            identical = [answers for answers, _ in results] == baseline
+            speedup = (serial_seconds / report.wall_seconds
+                       if report.wall_seconds else 0.0)
+            rows.append({
+                "workers": w, "seconds": report.wall_seconds,
+                "throughput": report.throughput, "speedup": speedup,
+                "cache_hit_rate": report.cache_hit_rate,
+                "dispatched": report.dispatched, "identical": identical,
+            })
+            print(f"workers={w}: {report.wall_seconds:.3f}s "
+                  f"({report.throughput:.1f} q/s, {speedup:.2f}x serial) "
+                  f"hit_rate={report.cache_hit_rate:.0%} "
+                  f"identical={'yes' if identical else 'NO'}")
+    finally:
+        if isinstance(index, DiskCTree):
+            index.close()
+    if args.json:
+        payload = {
+            "queries": len(queries),
+            "level": str(args.level),
+            "cache_size": args.cache_size,
+            "serial_seconds": serial_seconds,
+            "runs": rows,
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}")
+    if not all(row["identical"] for row in rows):
+        print("error: engine answers differ from the serial loop",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -318,14 +418,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("query", help="subgraph query against a saved index")
     p.add_argument("-t", "--tree", required=True,
                    help="*.json snapshot or *.ctp disk index")
-    p.add_argument("-q", "--query", required=True,
+    p.add_argument("-q", "--query",
                    help="query graph as JSON, or @file.json")
+    p.add_argument("--batch",
+                   help="JSONL file of query graphs to serve as a batch")
+    p.add_argument("--workers", type=int, default=1,
+                   help="batch mode: worker processes (default 1)")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="batch mode: LRU answer-cache capacity "
+                        "(0 disables caching and deduplication)")
     p.add_argument("--level", type=_parse_level, default=1,
                    help="pseudo-iso level (int or 'max')")
     p.add_argument("--no-verify", action="store_true",
                    help="return unverified candidates")
     p.add_argument("--cache-pages", type=int, default=128)
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "bench",
+        help="batched-engine throughput vs the serial loop, with an "
+             "identical-answers gate",
+    )
+    p.add_argument("-t", "--tree", required=True,
+                   help="*.json snapshot or *.ctp disk index")
+    p.add_argument("-i", "--queries", required=True,
+                   help="JSONL file of query graphs")
+    p.add_argument("--workers", default="1,2,4",
+                   help="comma-separated worker counts (default 1,2,4)")
+    p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument("--level", type=_parse_level, default=1)
+    p.add_argument("--json", help="write the results table here as JSON")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("knn", help="K nearest neighbors of a query graph")
     p.add_argument("-t", "--tree", required=True,

@@ -17,6 +17,7 @@ from repro.ctree.diskindex import (
     FsckReport,
 )
 from repro.ctree.node import CTreeNode, LeafEntry
+from repro.ctree.parallel import BatchReport, QueryEngine
 from repro.ctree.persistence import (
     index_size_bytes,
     load_tree,
@@ -28,6 +29,7 @@ from repro.ctree.persistence import (
 from repro.ctree.similarity_query import (
     closure_distance_lower_bound,
     knn_query,
+    knn_query_many,
     linear_scan_knn,
     range_query,
 )
@@ -35,10 +37,12 @@ from repro.ctree.stats import KnnStats, QueryStats
 from repro.ctree.subgraph_query import (
     linear_scan_subgraph_query,
     subgraph_query,
+    subgraph_query_many,
 )
 from repro.ctree.tree import CTree
 
 __all__ = [
+    "BatchReport",
     "CTree",
     "CTreeNode",
     "CostModel",
@@ -49,6 +53,7 @@ __all__ = [
     "FsckReport",
     "KnnStats",
     "LeafEntry",
+    "QueryEngine",
     "QueryStats",
     "bulk_load",
     "closure_distance_lower_bound",
@@ -57,6 +62,7 @@ __all__ = [
     "fit_from_stats",
     "index_size_bytes",
     "knn_query",
+    "knn_query_many",
     "linear_scan_knn",
     "linear_scan_subgraph_query",
     "load_tree",
@@ -65,6 +71,7 @@ __all__ = [
     "range_query",
     "save_tree",
     "subgraph_query",
+    "subgraph_query_many",
     "tree_from_dict",
     "tree_to_dict",
     "validate_tree",

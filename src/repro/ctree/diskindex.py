@@ -76,6 +76,10 @@ class DiskQueryStats(QueryStats):
 
     _COUNTER_FIELDS = QueryStats._COUNTER_FIELDS + ("page_hits",
                                                     "page_misses")
+    # Page I/O depends on buffer-pool temperature, which depends on the
+    # execution schedule — excluded from determinism comparisons.
+    _NONDETERMINISTIC_KEYS = QueryStats._NONDETERMINISTIC_KEYS + (
+        "page_hits", "page_misses")
 
     def __init__(self, page_hits: int = 0, page_misses: int = 0,
                  **kwargs) -> None:
@@ -97,6 +101,8 @@ class DiskKnnStats(KnnStats):
 
     _COUNTER_FIELDS = KnnStats._COUNTER_FIELDS + ("page_hits",
                                                   "page_misses")
+    _NONDETERMINISTIC_KEYS = KnnStats._NONDETERMINISTIC_KEYS + (
+        "page_hits", "page_misses")
 
     def __init__(self, page_hits: int = 0, page_misses: int = 0,
                  **kwargs) -> None:
@@ -323,7 +329,13 @@ class DiskCTree:
     # Mutation
     # ------------------------------------------------------------------
     def append(self, graphs: Iterable[Graph], seed: int = 0) -> list[int]:
-        """Add a batch of graphs; returns their new graph ids.
+        """Add graphs one logical batch at a time (alias of
+        :meth:`extend`, kept for the historical API)."""
+        return self.extend(graphs, seed=seed)
+
+    def extend(self, graphs: Iterable[Graph], seed: int = 0) -> list[int]:
+        """Add a batch of graphs with **one** index rebuild for the whole
+        batch; returns their new graph ids.
 
         The tree is rebuilt by re-bulk-loading the existing graphs (ids
         preserved — :func:`~repro.ctree.bulkload.bulk_load` numbers
@@ -331,6 +343,12 @@ class DiskCTree:
         and their pages recycled for the new generation.  The swap
         becomes durable at the checkpoint closing this call: a crash at
         any earlier point recovers to the previous generation intact.
+
+        The rebuild is the expensive part (the ROADMAP's full-rebuild
+        lever) and its cost is independent of the batch size split:
+        ``extend(batch)`` rebuilds once where a per-graph ``append``
+        loop rebuilds ``len(batch)`` times.  Rebuilds are counted in the
+        ``ctree.disk.rebuilds`` metric.
         """
         from repro.ctree.bulkload import bulk_load
 
@@ -338,6 +356,7 @@ class DiskCTree:
         new_graphs = list(graphs)
         if not new_graphs:
             return []
+        global_registry().counter("ctree.disk.rebuilds").inc()
         existing = dict(self.iter_graphs())
         ordered = [existing[gid] for gid in sorted(existing)]
         first_new = len(ordered)
@@ -398,8 +417,14 @@ class DiskCTree:
 
     @property
     def generation(self) -> int:
-        """Monotone counter bumped by every committed :meth:`append`."""
+        """Monotone counter bumped by every committed :meth:`extend`."""
         return self._meta.get("generation", 1)
+
+    @property
+    def path(self) -> Optional[PathLike]:
+        """Where this index lives on disk (None for exotic openers);
+        the batched engine's workers reopen it read-only from here."""
+        return self._path
 
     @property
     def pool(self) -> BufferPool:
@@ -487,6 +512,44 @@ class DiskCTree:
                           page_misses=stats.page_misses)
         stats.publish()
         return (answers if verify else [gid for gid, _ in candidates], stats)
+
+    def query_many(
+        self,
+        queries: Iterable[Graph],
+        level: Level = 1,
+        verify: bool = True,
+        workers: int = 1,
+        cache_size: int = 256,
+    ) -> list[tuple[list[int], DiskQueryStats]]:
+        """Batch subgraph queries through the batched engine
+        (:class:`~repro.ctree.parallel.QueryEngine`); each worker opens
+        its own read-only handle over this page file.  Answers are
+        bit-identical to a serial :meth:`subgraph_query` loop."""
+        from repro.ctree.parallel import QueryEngine
+
+        self._check_open()
+        with QueryEngine(self, workers=workers,
+                         cache_size=cache_size) as engine:
+            return engine.query_many(list(queries), level=level,
+                                     verify=verify)
+
+    def knn_many(
+        self,
+        queries: Iterable[Graph],
+        k: int,
+        mapping_method: str = "nbm",
+        workers: int = 1,
+        cache_size: int = 256,
+    ) -> list[tuple[list[tuple[int, float]], "DiskKnnStats"]]:
+        """Batch K-NN queries through the batched engine (same
+        guarantees as :meth:`query_many`)."""
+        from repro.ctree.parallel import QueryEngine
+
+        self._check_open()
+        with QueryEngine(self, workers=workers,
+                         cache_size=cache_size) as engine:
+            return engine.knn_many(list(queries), k,
+                                   mapping_method=mapping_method)
 
     def _pseudo_survives(self, query, qc, target, level) -> bool:
         """One histogram-free pseudo test of ``target`` (kernel or

@@ -1,0 +1,435 @@
+"""Parallel batched query engine over a shared read-only C-tree.
+
+The paper (and PRs 1-4) optimize one query at a time; the serving metric
+that matters at scale is *batch throughput* over a shared immutable index
+(cf. the reachability-index survey and MSQ-Index evaluations).
+:class:`QueryEngine` answers batches of subgraph and K-NN queries using
+
+- a persistent :mod:`multiprocessing` worker pool (fork start method).
+  An in-memory :class:`~repro.ctree.tree.CTree` is inherited by the
+  workers copy-on-write — including its memoized
+  :class:`~repro.graphs.labelspace.TargetContext` caches, so forked
+  workers start warm.  A :class:`~repro.ctree.diskindex.DiskCTree` is
+  reopened per worker as an independent read-only handle over the same
+  page file (``wal=False`` — workers never write);
+- an LRU **answer cache** keyed by :meth:`Graph.signature()
+  <repro.graphs.graph.Graph.signature>` (buckets verified by exact
+  structural equality, so an incomplete-invariant collision can never
+  return a wrong answer);
+- **batch deduplication**: structurally identical queries in one batch
+  execute once and fan out to every position.
+
+**Determinism.**  ``query_many(queries, workers=W)`` returns answers
+bit-identical to the serial loop ``[subgraph_query(tree, q) for q in
+queries]`` for every ``W``, in input order.  Per-query stats are
+logically identical too (:meth:`QueryStats.deterministic_dict
+<repro.ctree.stats.QueryStats.deterministic_dict>`); only wall-clock
+timings and disk page-I/O temperatures vary with the execution schedule.
+Worker-side metrics are shipped home as registry snapshot deltas and
+folded into the parent's global registry
+(:meth:`~repro.obs.metrics.MetricsRegistry.merge`), so a parallel run
+reports the same process-wide totals as a serial one.
+
+**Read-only contract.**  Workers fork (or reopen) the index as it exists
+at pool creation.  Mutating the index mid-flight is not supported; call
+:meth:`QueryEngine.refresh` after a mutation to respawn workers and drop
+the answer cache.
+
+On platforms without the ``fork`` start method the engine degrades to
+serial in-process execution (caching still applies); answers are
+identical either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.graphs.graph import Graph
+from repro.obs import trace
+from repro.obs.metrics import global_registry
+from repro.ctree.diskindex import DiskCTree
+from repro.ctree.similarity_query import knn_query
+from repro.ctree.stats import KnnStats, QueryStats
+from repro.ctree.subgraph_query import subgraph_query
+from repro.ctree.tree import CTree
+
+__all__ = ["BatchReport", "QueryEngine"]
+
+Index = Union[CTree, DiskCTree]
+
+_KIND_SUBGRAPH = "subgraph"
+_KIND_KNN = "knn"
+
+#: worker-process global: the index handle queries run against
+_WORKER_INDEX: Optional[Index] = None
+
+
+def _worker_init(index: Optional[Index], disk_path, cache_pages: int) -> None:
+    """Pool initializer: adopt the fork-inherited in-memory tree, or open
+    an independent read-only handle on the shared page file."""
+    global _WORKER_INDEX
+    # An inherited tracing sink would interleave span writes from every
+    # worker into the parent's file; spans stay a parent-process concern.
+    trace.disable()
+    if disk_path is not None:
+        _WORKER_INDEX = DiskCTree.open(
+            disk_path, cache_pages=cache_pages, wal=False, auto_recover=False
+        )
+    else:
+        _WORKER_INDEX = index
+
+
+def _execute(index: Index, kind: str, query: Graph, params: tuple):
+    """Run one query against ``index`` — the exact same code path the
+    serial API uses, so results are bit-identical by construction."""
+    if kind == _KIND_SUBGRAPH:
+        level, verify = params
+        if isinstance(index, DiskCTree):
+            return index.subgraph_query(query, level=level, verify=verify)
+        return subgraph_query(index, query, level=level, verify=verify)
+    k, mapping_method = params
+    if isinstance(index, DiskCTree):
+        return index.knn_query(query, k, mapping_method=mapping_method)
+    return knn_query(index, query, k, mapping_method=mapping_method)
+
+
+def _worker_run(task):
+    """Execute one deduplicated query in a worker; returns the result
+    plus the registry delta it caused and its busy time."""
+    task_id, kind, query, params = task
+    registry = global_registry()
+    before = registry.snapshot()
+    start = time.perf_counter()
+    answers, stats = _execute(_WORKER_INDEX, kind, query, params)
+    busy = time.perf_counter() - start
+    return (task_id, answers, stats, registry.diff(before), busy)
+
+
+def _structure_key(graph: Graph) -> tuple:
+    """An exact structural identity key (order-normalized), used to
+    deduplicate repeated queries within a batch."""
+    return (
+        tuple(repr(graph.label(v)) for v in graph.vertices()),
+        tuple(sorted((u, v, repr(label)) for u, v, label in graph.edges())),
+    )
+
+
+@dataclass
+class BatchReport:
+    """What one ``query_many``/``knn_many`` call did (also folded into
+    the ``engine.*`` metrics)."""
+
+    kind: str
+    queries: int
+    #: structurally distinct queries after cache hits were removed
+    dispatched: int
+    cache_hits: int
+    workers: int
+    #: True when a worker pool executed the batch (False: in-process)
+    parallel: bool
+    wall_seconds: float
+    #: summed per-query execution time across workers
+    busy_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Queries answered per second of batch wall time."""
+        return self.queries / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's capacity spent executing queries."""
+        capacity = self.workers * self.wall_seconds
+        return self.busy_seconds / capacity if capacity else 0.0
+
+
+class QueryEngine:
+    """Batched subgraph/K-NN query execution over one read-only index.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.ctree.tree.CTree` or an open
+        :class:`~repro.ctree.diskindex.DiskCTree`.
+    workers:
+        Default pool size for batches (overridable per call).  ``1``
+        executes in-process.
+    cache_size:
+        Maximum number of cached answers (LRU).  ``0`` disables both the
+        answer cache and batch deduplication — every query executes.
+    cache_pages:
+        Buffer-pool capacity of each per-worker disk handle.
+
+    Use as a context manager, or call :meth:`close` to reap the pool.
+    """
+
+    def __init__(
+        self,
+        index: Index,
+        workers: int = 1,
+        cache_size: int = 256,
+        cache_pages: int = 128,
+    ) -> None:
+        self._index = index
+        self.workers = max(1, int(workers))
+        self._cache_size = max(0, int(cache_size))
+        self._cache_pages = cache_pages
+        #: (kind, params, signature) -> [(query, answers, stats), ...]
+        self._cache: "OrderedDict[tuple, list]" = OrderedDict()
+        #: total cached entries across all signature buckets
+        self._entries = 0
+        self._pool = None
+        self._pool_workers = 0
+        self.last_batch: Optional[BatchReport] = None
+        disk = isinstance(index, DiskCTree)
+        self._fork_ok = (
+            "fork" in multiprocessing.get_all_start_methods()
+            and (not disk or index.path is not None)
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def query_many(
+        self,
+        queries: Sequence[Graph],
+        level=1,
+        verify: bool = True,
+        workers: Optional[int] = None,
+    ) -> list[tuple[list[int], QueryStats]]:
+        """Answer a batch of subgraph queries.
+
+        Returns ``[(answers, stats), ...]`` in input order,
+        bit-identical to the serial per-query loop at every worker
+        count.
+        """
+        return self._run_batch(
+            _KIND_SUBGRAPH, queries, (level, verify), workers
+        )
+
+    def knn_many(
+        self,
+        queries: Sequence[Graph],
+        k: int,
+        mapping_method: str = "nbm",
+        workers: Optional[int] = None,
+    ) -> list[tuple[list[tuple[int, float]], KnnStats]]:
+        """Answer a batch of K-NN queries (same guarantees as
+        :meth:`query_many`)."""
+        return self._run_batch(_KIND_KNN, queries, (k, mapping_method),
+                               workers)
+
+    def refresh(self) -> None:
+        """Drop the answer cache and respawn workers on next use — call
+        after mutating the underlying index."""
+        self._cache.clear()
+        self._entries = 0
+        self._close_pool()
+
+    def close(self) -> None:
+        self._close_pool()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _run_batch(self, kind, queries, params, workers):
+        queries = list(queries)
+        n = len(queries)
+        if n == 0:
+            return []
+        effective = self.workers if workers is None else max(1, int(workers))
+        registry = global_registry()
+        start = time.perf_counter()
+        results: list = [None] * n
+        hits = 0
+        # Deduplicated execution plan: exact structural key -> (query,
+        # positions).  Insertion order fixes the dispatch order, so the
+        # plan is deterministic for a given batch at every worker count.
+        pending: "OrderedDict[tuple, tuple]" = OrderedDict()
+        with trace.span("engine.batch", kind=kind, queries=n,
+                        workers=effective) as sp:
+            for pos, query in enumerate(queries):
+                cached = self._cache_get(kind, params, query)
+                if cached is not None:
+                    answers, stats = cached
+                    results[pos] = (list(answers), stats.copy())
+                    hits += 1
+                    continue
+                if self._cache_size > 0:
+                    key = (query.signature(), _structure_key(query))
+                else:
+                    key = pos  # dedup off: one task per position
+                if key in pending:
+                    pending[key][1].append(pos)
+                else:
+                    pending[key] = (query, [pos])
+
+            tasks = [
+                (task_id, kind, query, params)
+                for task_id, (query, _) in enumerate(pending.values())
+            ]
+            parallel = (effective > 1 and self._fork_ok and len(tasks) > 1)
+            if parallel:
+                executed, busy = self._run_pool(tasks, effective, registry)
+            else:
+                executed, busy = self._run_inline(tasks)
+
+            for task_id, (query, positions) in enumerate(pending.values()):
+                answers, stats = executed[task_id]
+                self._cache_put(kind, params, query, answers, stats)
+                for pos in positions:
+                    results[pos] = (list(answers), stats.copy())
+
+            wall = time.perf_counter() - start
+            report = BatchReport(
+                kind=kind, queries=n, dispatched=len(tasks),
+                cache_hits=hits, workers=effective if parallel else 1,
+                parallel=parallel, wall_seconds=wall, busy_seconds=busy,
+            )
+            self.last_batch = report
+            self._publish_batch(registry, report)
+            sp.set(dispatched=report.dispatched, cache_hits=hits,
+                   wall_seconds=wall)
+        return results
+
+    def _run_inline(self, tasks):
+        """Serial in-process execution (workers <= 1, no fork, or a
+        single task)."""
+        executed = {}
+        busy = 0.0
+        for task_id, kind, query, params in tasks:
+            start = time.perf_counter()
+            executed[task_id] = _execute(self._index, kind, query, params)
+            busy += time.perf_counter() - start
+        return executed, busy
+
+    def _run_pool(self, tasks, workers, registry):
+        """Fan tasks out to the persistent worker pool; merge each
+        worker's metrics delta so totals match a serial run."""
+        pool = self._ensure_pool(workers)
+        chunksize = max(1, len(tasks) // (workers * 4))
+        depth = registry.gauge("engine.queue_depth")
+        depth.set(len(tasks))
+        executed = {}
+        busy = 0.0
+        try:
+            for task_id, answers, stats, delta, task_busy in \
+                    pool.imap_unordered(_worker_run, tasks,
+                                        chunksize=chunksize):
+                executed[task_id] = (answers, stats)
+                registry.merge(delta)
+                busy += task_busy
+                depth.dec()
+        finally:
+            depth.set(0)
+        return executed, busy
+
+    # ------------------------------------------------------------------
+    # Worker pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, workers: int):
+        if self._pool is not None and self._pool_workers == workers:
+            return self._pool
+        self._close_pool()
+        ctx = multiprocessing.get_context("fork")
+        if isinstance(self._index, DiskCTree):
+            initargs = (None, os.fspath(self._index.path),
+                        self._cache_pages)
+        else:
+            # Under fork, initargs are inherited by reference — the tree
+            # (and its memoized kernel contexts) is never pickled.
+            initargs = (self._index, None, self._cache_pages)
+        self._pool = ctx.Pool(processes=workers, initializer=_worker_init,
+                              initargs=initargs)
+        self._pool_workers = workers
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_workers = 0
+
+    # ------------------------------------------------------------------
+    # Answer cache
+    # ------------------------------------------------------------------
+    def _cache_get(self, kind, params, query):
+        if self._cache_size <= 0:
+            return None
+        bucket = self._cache.get((kind, params, query.signature()))
+        if not bucket:
+            return None
+        for stored, answers, stats in bucket:
+            # signature() is isomorphism-invariant but incomplete; the
+            # structural check makes a colliding non-equal query a miss,
+            # never a wrong answer.
+            if stored.structure_equal(query):
+                self._cache.move_to_end((kind, params, query.signature()))
+                return (answers, stats)
+        return None
+
+    def _cache_put(self, kind, params, query, answers, stats) -> None:
+        if self._cache_size <= 0:
+            return
+        key = (kind, params, query.signature())
+        bucket = self._cache.setdefault(key, [])
+        bucket.append((query.copy(), list(answers), stats.copy()))
+        self._cache.move_to_end(key)
+        self._entries += 1
+        # Evict by *entry*, oldest bucket first, so signature collisions
+        # (several structurally distinct queries in one bucket) cannot
+        # grow the cache past its configured capacity.
+        while self._entries > self._cache_size:
+            old_key, old_bucket = next(iter(self._cache.items()))
+            old_bucket.pop(0)
+            self._entries -= 1
+            if not old_bucket:
+                del self._cache[old_key]
+
+    @property
+    def cache_entries(self) -> int:
+        return self._entries
+
+    # ------------------------------------------------------------------
+    def _publish_batch(self, registry, report: BatchReport) -> None:
+        registry.counter("engine.batches").inc()
+        registry.counter("engine.queries").inc(report.queries)
+        registry.counter("engine.cache_hits").inc(report.cache_hits)
+        registry.counter("engine.cache_misses").inc(
+            report.queries - report.cache_hits
+        )
+        registry.counter("engine.dispatched").inc(report.dispatched)
+        registry.counter("engine.wall_seconds").inc(report.wall_seconds)
+        registry.counter("engine.worker_busy_seconds").inc(
+            report.busy_seconds
+        )
+        registry.gauge("engine.workers").set(report.workers)
+        registry.gauge("engine.utilization").set(report.utilization)
+        registry.gauge("engine.cache_hit_rate").set(report.cache_hit_rate)
+        registry.histogram("engine.per_batch.wall_seconds").observe(
+            report.wall_seconds
+        )
+        registry.histogram("engine.per_batch.queries").observe(
+            report.queries
+        )
+
+    def __repr__(self) -> str:
+        kind = "disk" if isinstance(self._index, DiskCTree) else "memory"
+        return (f"<QueryEngine {kind} |D|={len(self._index)} "
+                f"workers={self.workers} cached={self.cache_entries}>")

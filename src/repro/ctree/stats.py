@@ -98,6 +98,12 @@ class QueryStats:
     _MAX_FIELDS = ("database_size",)
     #: published to the global registry as a per-query histogram
     _HISTOGRAM_FIELDS = ("candidates", "search_seconds", "verify_seconds")
+    #: to_dict keys whose values depend on wall time or cache temperature,
+    #: not on query logic — excluded from determinism comparisons (the
+    #: batched engine guarantees everything else bit-identical per query
+    #: at every worker count)
+    _NONDETERMINISTIC_KEYS = ("search_seconds", "verify_seconds",
+                              "total_seconds")
 
     def __init__(
         self,
@@ -195,6 +201,27 @@ class QueryStats:
         out["nodes_by_level"] = list(self.nodes_by_level)
         return out
 
+    def deterministic_dict(self) -> dict:
+        """:meth:`to_dict` minus timing (and, on disk stats, page-I/O)
+        keys — the part of the stats the batched query engine guarantees
+        identical to a serial run at every worker count."""
+        out = self.to_dict()
+        for key in self._NONDETERMINISTIC_KEYS:
+            out.pop(key, None)
+        return out
+
+    def copy(self):
+        """An independent stats object with the same counter values
+        (own registry; per-level series copied)."""
+        kwargs = {name: getattr(self, name)
+                  for name in self._COUNTER_FIELDS}
+        kwargs.update(
+            x_by_level=self.x_by_level,
+            y_by_level=self.y_by_level,
+            nodes_by_level=self.nodes_by_level,
+        )
+        return type(self)(**kwargs)
+
     def publish(self, registry: Optional[MetricsRegistry] = None) -> None:
         """Fold this query's counters into ``registry`` (default: the
         process-wide one) and observe per-query histograms."""
@@ -246,6 +273,7 @@ class KnnStats:
     _MAX_FIELDS = ("database_size",)
     _HISTOGRAM_FIELDS = ("graphs_scored", "seconds")
     _COUNT_METRIC = "ctree.knn.count"
+    _NONDETERMINISTIC_KEYS = ("seconds",)
 
     def __init__(
         self,
@@ -290,6 +318,12 @@ class KnnStats:
         out["access_ratio"] = self.access_ratio
         return out
 
+    def copy(self):
+        """An independent stats object with the same counter values."""
+        return type(self)(**{name: getattr(self, name)
+                             for name in self._COUNTER_FIELDS})
+
+    deterministic_dict = QueryStats.deterministic_dict
     publish = QueryStats.publish
 
     def __repr__(self) -> str:

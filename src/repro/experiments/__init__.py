@@ -5,6 +5,7 @@ from repro.experiments.config import (
     KnnExperimentConfig,
     MappingQualityConfig,
     SubgraphExperimentConfig,
+    ThroughputExperimentConfig,
     scaled_synthetic_config,
 )
 from repro.experiments.reporting import format_bytes, format_series_table, ratio
@@ -18,8 +19,11 @@ from repro.experiments.subgraph_experiments import (
     DATASETS,
     IndexSizeResult,
     QuerySweepResult,
+    ThroughputResult,
     run_index_size_experiment,
     run_query_sweep,
+    run_throughput_experiment,
+    skewed_query_log,
 )
 
 __all__ = [
@@ -32,6 +36,8 @@ __all__ = [
     "MappingQualityResult",
     "QuerySweepResult",
     "SubgraphExperimentConfig",
+    "ThroughputExperimentConfig",
+    "ThroughputResult",
     "format_bytes",
     "format_series_table",
     "ratio",
@@ -39,5 +45,7 @@ __all__ = [
     "run_knn_sweep",
     "run_mapping_quality",
     "run_query_sweep",
+    "run_throughput_experiment",
     "scaled_synthetic_config",
+    "skewed_query_log",
 ]

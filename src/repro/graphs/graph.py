@@ -41,7 +41,8 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_labels", "_adj", "_num_edges", "name", "_kernel_ctx")
+    __slots__ = ("_labels", "_adj", "_num_edges", "name", "_kernel_ctx",
+                 "_signature")
 
     def __init__(
         self,
@@ -55,6 +56,8 @@ class Graph:
         self.name = name
         #: memoized (labelspace, TargetContext) — see repro.graphs.labelspace
         self._kernel_ctx = None
+        #: memoized signature() tuple; every mutator clears it
+        self._signature = None
         for edge in edges:
             if len(edge) == 2:
                 u, v = edge
@@ -71,6 +74,7 @@ class Graph:
         self._labels.append(label)
         self._adj.append({})
         self._kernel_ctx = None
+        self._signature = None
         return len(self._labels) - 1
 
     def add_edge(self, u: int, v: int, label: Label = None) -> None:
@@ -89,6 +93,7 @@ class Graph:
         self._adj[v][u] = label
         self._num_edges += 1
         self._kernel_ctx = None
+        self._signature = None
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge between ``u`` and ``v`` (must exist)."""
@@ -100,6 +105,7 @@ class Graph:
         del self._adj[v][u]
         self._num_edges -= 1
         self._kernel_ctx = None
+        self._signature = None
 
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < len(self._labels):
@@ -128,6 +134,7 @@ class Graph:
         self._check_vertex(v)
         self._labels[v] = label
         self._kernel_ctx = None
+        self._signature = None
 
     def label_set(self, v: int) -> frozenset:
         """The label of ``v`` viewed as a singleton set.
@@ -197,6 +204,9 @@ class Graph:
         g._num_edges = self._num_edges
         g.name = self.name
         g._kernel_ctx = None
+        # The signature is a structural invariant and copies share
+        # structure, so the memoized tuple carries over.
+        g._signature = self._signature
         return g
 
     def subgraph(self, vertices: Sequence[int]) -> "Graph":
@@ -311,8 +321,13 @@ class Graph:
         """A cheap isomorphism-*invariant* (not complete) fingerprint.
 
         Two isomorphic graphs always have equal signatures; unequal
-        signatures prove non-isomorphism.  Used for fast dataset dedup.
+        signatures prove non-isomorphism.  Used for fast dataset dedup
+        and as the query-cache key of the batched query engine.  The
+        tuple is memoized on the instance (mutators invalidate it), so
+        repeated lookups cost one attribute read.
         """
+        if self._signature is not None:
+            return self._signature
         vertex_part = tuple(sorted(map(repr, self._labels)))
         degree_part = tuple(sorted(len(nbrs) for nbrs in self._adj))
         edge_part = tuple(
@@ -323,7 +338,8 @@ class Graph:
                 for u, v, label in self.edges()
             )
         )
-        return (vertex_part, degree_part, edge_part)
+        self._signature = (vertex_part, degree_part, edge_part)
+        return self._signature
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
@@ -348,6 +364,7 @@ class Graph:
     def __setstate__(self, state) -> None:
         self._labels, self._adj, self._num_edges, self.name = state
         self._kernel_ctx = None
+        self._signature = None
 
     # ------------------------------------------------------------------
     # Serialization

@@ -36,6 +36,7 @@ __all__ = [
     "MetricsRegistry",
     "diff_snapshots",
     "global_registry",
+    "merge_snapshots",
 ]
 
 
@@ -168,6 +169,44 @@ class Histogram:
             "buckets": buckets,
         }
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another histogram's snapshot (or snapshot diff) into this
+        one.
+
+        Count, sum, and bucket counts add exactly.  ``min``/``max`` widen
+        to cover the snapshot's bounds (for a *diff*, which reports the
+        after-side extrema, the merged extrema are therefore conservative
+        — they may be wider than the true union, never narrower).  Bucket
+        labels are resolved against this histogram's own bounds, so
+        snapshots taken with the default buckets round-trip exactly.
+        """
+        count = snap.get("count", 0)
+        if not count:
+            return
+        self.count += count
+        self.total += snap.get("sum", 0.0)
+        lo, hi = snap.get("min"), snap.get("max")
+        if lo is not None and lo < self.min:
+            self.min = lo
+        if hi is not None and hi > self.max:
+            self.max = hi
+        for label, n in snap.get("buckets", {}).items():
+            if label == "inf":
+                self.bucket_counts[-1] += n
+                continue
+            try:
+                bound = float(label[3:])  # strip the "le_" prefix
+            except ValueError:
+                self.bucket_counts[-1] += n
+                continue
+            index = 0
+            while index < len(self.bounds) and self.bounds[index] < bound:
+                index += 1
+            if index < len(self.bounds):
+                self.bucket_counts[index] += n
+            else:
+                self.bucket_counts[-1] += n
+
     def __repr__(self) -> str:
         return (f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>")
 
@@ -251,6 +290,27 @@ class MetricsRegistry:
         """
         return diff_snapshots(before, self.snapshot())
 
+    def merge(self, snapshot: dict[str, dict]) -> None:
+        """Fold a snapshot (or a :meth:`diff` delta) from *another*
+        registry into this one.
+
+        Counters add, histograms merge count/sum/buckets
+        (:meth:`Histogram.merge_snapshot`), and gauges take the
+        snapshot's value (a gauge is a point-in-time reading — last
+        writer wins).  This is the cross-process aggregation primitive:
+        a worker process snapshots its registry around a task, ships the
+        delta home, and the parent merges it so parallel runs report the
+        same totals as serial ones.
+        """
+        for name, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                self.counter(name).inc(snap.get("value", 0))
+            elif kind == "gauge":
+                self.gauge(name).set(snap.get("value", 0))
+            elif kind == "histogram":
+                self.histogram(name).merge_snapshot(snap)
+
     def reset(self) -> None:
         for metric in self._metrics.values():
             metric.reset()
@@ -295,6 +355,20 @@ def diff_snapshots(
                 "buckets": buckets,
             }
     return out
+
+
+def merge_snapshots(
+    *snapshots: dict[str, dict]
+) -> dict[str, dict]:
+    """Elementwise sum of registry snapshots, as a snapshot.
+
+    Convenience wrapper over :meth:`MetricsRegistry.merge` for
+    aggregating worker deltas without touching a live registry.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged.snapshot()
 
 
 #: The process-wide registry every instrumented subsystem reports into.

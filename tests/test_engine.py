@@ -1,0 +1,363 @@
+"""Batched query engine: determinism, caching, and aggregation.
+
+The engine's contract is that ``query_many(queries, workers=W)`` is
+observably identical to the serial per-query loop for every ``W`` —
+answers bit-identical, stats logically identical
+(:meth:`~repro.ctree.stats.QueryStats.deterministic_dict`), and global
+metrics totals equal once worker deltas are merged home.  These tests
+pin that contract over the frozen golden workload, with the bitset
+kernels both on and off, against both the in-memory tree and the disk
+index.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import load_graph_database
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.diskindex import DiskCTree
+from repro.ctree.parallel import QueryEngine
+from repro.ctree.similarity_query import knn_query, knn_query_many
+from repro.ctree.stats import QueryStats
+from repro.ctree.subgraph_query import subgraph_query, subgraph_query_many
+from repro.matching import kernels
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+_DATA = Path(__file__).parent / "data"
+WORKER_COUNTS = (1, 2, 4)
+#: per-query counters that must not depend on the execution schedule
+_EXACT_COUNTERS = (
+    "ctree.query.count", "ctree.query.histogram_tests",
+    "ctree.query.pseudo_tests", "ctree.query.pseudo_survivors",
+    "ctree.query.nodes_expanded", "ctree.query.candidates",
+    "ctree.query.answers", "ctree.query.isomorphism_tests",
+)
+
+
+@pytest.fixture(scope="module")
+def golden_db():
+    return load_graph_database(_DATA / "golden_chem.jsonl")
+
+
+@pytest.fixture(scope="module")
+def golden_queries():
+    expected = json.loads((_DATA / "golden_answers.json").read_text())
+    return [Graph.from_dict(case["query"])
+            for case in expected["subgraph"]]
+
+
+@pytest.fixture(scope="module")
+def golden_tree(golden_db):
+    return bulk_load(golden_db, min_fanout=3)
+
+
+@pytest.fixture(scope="module")
+def golden_disk_path(golden_tree, tmp_path_factory):
+    path = tmp_path_factory.mktemp("engine") / "golden.ctp"
+    DiskCTree.create(golden_tree, path, page_size=512, cache_pages=32).close()
+    return path
+
+
+# ----------------------------------------------------------------------
+# Determinism: engine == serial loop at every worker count
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    @pytest.mark.parametrize("kernels_on", [True, False],
+                             ids=["kernels", "reference"])
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_memory_subgraph(self, golden_tree, golden_queries, workers,
+                             kernels_on):
+        with kernels.use_kernels(kernels_on):
+            serial = [subgraph_query(golden_tree, q)
+                      for q in golden_queries]
+            batch = subgraph_query_many(golden_tree, golden_queries,
+                                        workers=workers)
+        assert [a for a, _ in batch] == [a for a, _ in serial]
+        assert ([s.deterministic_dict() for _, s in batch]
+                == [s.deterministic_dict() for _, s in serial])
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_disk_subgraph(self, golden_disk_path, golden_queries, workers):
+        with DiskCTree.open(golden_disk_path, cache_pages=32) as disk:
+            serial = [disk.subgraph_query(q) for q in golden_queries]
+            batch = disk.query_many(golden_queries, workers=workers)
+        assert [a for a, _ in batch] == [a for a, _ in serial]
+        # deterministic_dict drops page_hits/page_misses: buffer-pool
+        # temperature legitimately varies with the schedule.
+        assert ([s.deterministic_dict() for _, s in batch]
+                == [s.deterministic_dict() for _, s in serial])
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_memory_knn(self, golden_tree, golden_db, workers):
+        queries = golden_db[:4]
+        serial = [knn_query(golden_tree, q, 3) for q in queries]
+        batch = knn_query_many(golden_tree, queries, 3, workers=workers)
+        assert [r for r, _ in batch] == [r for r, _ in serial]
+        assert ([s.deterministic_dict() for _, s in batch]
+                == [s.deterministic_dict() for _, s in serial])
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_disk_knn(self, golden_disk_path, golden_db, workers):
+        queries = golden_db[:3]
+        with DiskCTree.open(golden_disk_path, cache_pages=32) as disk:
+            serial = [disk.knn_query(q, 3) for q in queries]
+            batch = disk.knn_many(queries, 3, workers=workers)
+        assert [r for r, _ in batch] == [r for r, _ in serial]
+
+    def test_no_verify_and_level_max(self, golden_tree, golden_queries):
+        for level in (1, "max"):
+            serial = [subgraph_query(golden_tree, q, level=level,
+                                     verify=False)
+                      for q in golden_queries]
+            batch = subgraph_query_many(golden_tree, golden_queries,
+                                        level=level, verify=False,
+                                        workers=2)
+            assert [a for a, _ in batch] == [a for a, _ in serial]
+
+    def test_empty_batch(self, golden_tree):
+        assert subgraph_query_many(golden_tree, []) == []
+
+
+# ----------------------------------------------------------------------
+# Answer cache and batch deduplication
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_repeat_batch_served_from_cache(self, golden_tree,
+                                            golden_queries):
+        with QueryEngine(golden_tree) as engine:
+            first = engine.query_many(golden_queries)
+            assert engine.last_batch.cache_hits == 0
+            second = engine.query_many(golden_queries)
+            report = engine.last_batch
+        assert report.cache_hit_rate == 1.0
+        assert report.dispatched == 0
+        assert [a for a, _ in second] == [a for a, _ in first]
+
+    def test_within_batch_dedup(self, golden_tree, golden_queries):
+        q = golden_queries[0]
+        batch = [q, q.copy(), q, golden_queries[1]]
+        with QueryEngine(golden_tree) as engine:
+            results = engine.query_many(batch)
+            report = engine.last_batch
+        assert report.dispatched == 2
+        assert results[0][0] == results[1][0] == results[2][0]
+        serial = subgraph_query(golden_tree, q)
+        assert results[0][0] == serial[0]
+        assert results[0][1].deterministic_dict() \
+            == serial[1].deterministic_dict()
+
+    def test_cache_size_zero_disables_cache_and_dedup(self, golden_tree,
+                                                      golden_queries):
+        q = golden_queries[0]
+        with QueryEngine(golden_tree, cache_size=0) as engine:
+            engine.query_many([q, q, q])
+            assert engine.last_batch.dispatched == 3
+            assert engine.cache_entries == 0
+            engine.query_many([q])
+            assert engine.last_batch.cache_hits == 0
+
+    def test_lru_eviction(self, golden_tree, golden_queries):
+        with QueryEngine(golden_tree, cache_size=2) as engine:
+            for q in golden_queries[:3]:
+                engine.query_many([q])
+            assert engine.cache_entries <= 2
+            # The oldest entry was evicted; the newest is still cached.
+            engine.query_many([golden_queries[2]])
+            assert engine.last_batch.cache_hits == 1
+            engine.query_many([golden_queries[0]])
+            assert engine.last_batch.cache_hits == 0
+
+    def test_cached_results_are_independent_copies(self, golden_tree,
+                                                   golden_queries):
+        q = golden_queries[0]
+        with QueryEngine(golden_tree) as engine:
+            (answers, stats), = engine.query_many([q])
+            answers.append(10 ** 9)  # vandalize the returned list
+            stats.answers = 10 ** 9
+            (again, stats2), = engine.query_many([q])
+        assert 10 ** 9 not in again
+        assert stats2.answers != 10 ** 9
+
+    def test_refresh_drops_cache(self, golden_tree, golden_queries):
+        with QueryEngine(golden_tree) as engine:
+            engine.query_many([golden_queries[0]])
+            assert engine.cache_entries == 1
+            engine.refresh()
+            assert engine.cache_entries == 0
+            engine.query_many([golden_queries[0]])
+            assert engine.last_batch.cache_hits == 0
+
+    def test_params_partition_the_cache(self, golden_tree, golden_queries):
+        q = golden_queries[0]
+        with QueryEngine(golden_tree) as engine:
+            engine.query_many([q], level=1)
+            engine.query_many([q], level="max")
+            assert engine.last_batch.cache_hits == 0
+            engine.query_many([q], level="max")
+            assert engine.last_batch.cache_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Metrics aggregation across workers (registry merge)
+# ----------------------------------------------------------------------
+class TestRegistryMerge:
+    def test_merge_counters_and_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        b.gauge("g").set(7)
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 7
+        assert a.gauge("g").value == 7
+
+    def test_merge_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (0.5, 2.0):
+            a.histogram("h").observe(v)
+        for v in (1.0, 8.0):
+            b.histogram("h").observe(v)
+        a.merge(b.snapshot())
+        snap = a.histogram("h").snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(11.5)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 8.0
+
+    def test_parallel_totals_match_serial(self, golden_tree,
+                                          golden_queries):
+        """The worker-delta merge: process-wide exact counters after a
+        parallel batch equal those after the serial loop."""
+        registry = global_registry()
+
+        before = registry.snapshot()
+        for q in golden_queries:
+            subgraph_query(golden_tree, q)
+        serial_delta = registry.diff(before)
+
+        before = registry.snapshot()
+        subgraph_query_many(golden_tree, golden_queries, workers=2,
+                            cache_size=0)
+        parallel_delta = registry.diff(before)
+
+        for name in _EXACT_COUNTERS:
+            assert parallel_delta.get(name) == serial_delta.get(name), name
+
+    def test_engine_metrics_emitted(self, golden_tree, golden_queries):
+        registry = global_registry()
+        before = registry.snapshot()
+        subgraph_query_many(golden_tree, golden_queries, workers=2)
+        delta = registry.diff(before)
+        assert delta["engine.batches"]["value"] == 1
+        assert delta["engine.queries"]["value"] == len(golden_queries)
+        assert "engine.per_batch.wall_seconds" in delta
+
+
+# ----------------------------------------------------------------------
+# DiskCTree.extend: one rebuild per batch
+# ----------------------------------------------------------------------
+class TestExtendRebuilds:
+    def _rebuilds(self) -> float:
+        return global_registry().counter("ctree.disk.rebuilds").value
+
+    def test_extend_rebuilds_once_per_batch(self, golden_db, tmp_path):
+        tree = bulk_load(golden_db[:6], min_fanout=3)
+        with DiskCTree.create(tree, tmp_path / "x.ctp",
+                              page_size=512) as disk:
+            gen0 = disk.generation
+            start = self._rebuilds()
+            disk.extend(golden_db[6:9])
+            assert self._rebuilds() - start == 1
+            assert disk.generation == gen0 + 1
+            assert len(disk) == 9
+
+            start = self._rebuilds()
+            for g in golden_db[9:12]:
+                disk.append([g])
+            assert self._rebuilds() - start == 3
+            assert len(disk) == 12
+
+    def test_extend_empty_batch_is_free(self, golden_db, tmp_path):
+        tree = bulk_load(golden_db[:6], min_fanout=3)
+        with DiskCTree.create(tree, tmp_path / "y.ctp",
+                              page_size=512) as disk:
+            start = self._rebuilds()
+            assert disk.extend([]) == []
+            assert self._rebuilds() == start
+
+
+# ----------------------------------------------------------------------
+# Graph.signature memoization
+# ----------------------------------------------------------------------
+class TestSignatureCache:
+    def _fresh_signature(self, g: Graph) -> tuple:
+        return Graph.from_dict(g.to_dict()).signature()
+
+    def test_signature_is_cached(self, golden_db):
+        g = golden_db[0].copy()
+        assert g.signature() is g.signature()
+
+    def test_mutations_invalidate(self):
+        g = Graph(["C", "C", "O"])
+        g.add_edge(0, 1)
+        sig = g.signature()
+
+        g.add_vertex("N")
+        assert g.signature() != sig
+        assert g.signature() == self._fresh_signature(g)
+
+        sig = g.signature()
+        g.add_edge(1, 2)
+        assert g.signature() != sig
+        assert g.signature() == self._fresh_signature(g)
+
+        sig = g.signature()
+        g.remove_edge(1, 2)
+        assert g.signature() != sig
+        assert g.signature() == self._fresh_signature(g)
+
+        sig = g.signature()
+        g.set_label(0, "S")
+        assert g.signature() != sig
+        assert g.signature() == self._fresh_signature(g)
+
+    def test_copy_carries_cached_signature(self, golden_db):
+        g = golden_db[1].copy()
+        sig = g.signature()
+        c = g.copy()
+        assert c.signature() == sig
+        c.add_vertex("Zz")
+        assert c.signature() != sig
+        assert g.signature() == sig
+
+    def test_pickle_roundtrip_recomputes(self, golden_db):
+        import pickle
+
+        g = golden_db[2].copy()
+        sig = g.signature()
+        assert pickle.loads(pickle.dumps(g)).signature() == sig
+
+
+# ----------------------------------------------------------------------
+# Stats copy / deterministic_dict helpers
+# ----------------------------------------------------------------------
+class TestStatsHelpers:
+    def test_copy_is_independent(self):
+        s = QueryStats(database_size=5, candidates=3, answers=2)
+        s.record_level(0, 4, 2)
+        c = s.copy()
+        assert c.to_dict() == s.to_dict()
+        c.answers += 1
+        c.record_level(1, 1, 1)
+        assert s.answers == 2
+        assert len(s.x_by_level) == 1
+
+    def test_deterministic_dict_drops_timings(self):
+        s = QueryStats(candidates=3, search_seconds=1.25)
+        d = s.deterministic_dict()
+        assert "search_seconds" not in d
+        assert "verify_seconds" not in d
+        assert "total_seconds" not in d
+        assert d["candidates"] == 3
