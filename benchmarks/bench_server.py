@@ -1,0 +1,162 @@
+"""HTTP serving benchmark: concurrent clients through the coalescer.
+
+Replays a skewed query log (the same workload shape as
+``bench_engine.py``) against a live :class:`~repro.server.QueryServer`
+from N concurrent HTTP clients and gates on the serving layer's two
+core promises:
+
+(a) **identical answers** — every HTTP response matches a serial
+    in-process ``subgraph_query`` loop over the same log, bit for bit;
+(b) **coalescing** — concurrent requests demonstrably share engine
+    batches: the number of dispatched batches stays well below the
+    number of requests served.
+
+Latency/throughput are reported (serial loop vs HTTP wall time) but not
+gated — CI boxes are too noisy for timing floors across a socket.
+
+Writes ``BENCH_server.json`` at the repo root (schema
+``server-bench-v1``, uploaded as a CI artifact) plus the usual
+``record_figure`` table.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import http.client
+import json
+import time
+
+import conftest
+from conftest import (
+    SERVER,
+    SERVER_BENCH_JSON,
+    SERVER_BENCH_SCHEMA,
+    record_figure,
+)
+
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.subgraph_query import subgraph_query
+from repro.datasets.chemical import generate_chemical_database
+from repro.datasets.queries import generate_subgraph_queries
+from repro.experiments.subgraph_experiments import skewed_query_log
+from repro.server import QueryServer, ServerConfig
+
+
+def _post_query(port: int, query_dict: dict) -> list[int]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("POST", "/query",
+                     body=json.dumps({"query": query_dict}))
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200, payload
+        return payload["answers"]
+    finally:
+        conn.close()
+
+
+def test_server_throughput(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    db = generate_chemical_database(SERVER.database_size, seed=SERVER.seed)
+    tree = bulk_load(db, min_fanout=SERVER.min_fanout, seed=SERVER.seed)
+    unique = generate_subgraph_queries(
+        db, SERVER.query_size, SERVER.unique_queries, seed=SERVER.seed
+    )
+    log = skewed_query_log(unique, SERVER.requests, SERVER.seed)
+
+    serial_start = time.perf_counter()
+    serial = [subgraph_query(tree, q)[0] for q in log]
+    serial_seconds = time.perf_counter() - serial_start
+
+    srv = QueryServer(tree, ServerConfig(
+        port=0,
+        batch_window=SERVER.batch_window,
+        max_batch=SERVER.max_batch,
+        cache_size=SERVER.cache_size,
+        client_cap=SERVER.requests,  # benchmark measures coalescing, not 429s
+    ))
+    reg = srv._registry
+    before = {
+        name: reg.counter(name).value
+        for name in ("server.coalesce.batches", "server.coalesce.queries",
+                     "server.coalesce.coalesced", "server.http.requests")
+    }
+    with srv.run_in_thread() as handle:
+        payloads = [q.to_dict() for q in log]
+        http_start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(SERVER.clients) as pool:
+            answers = list(pool.map(
+                lambda p: _post_query(handle.port, p), payloads))
+        http_seconds = time.perf_counter() - http_start
+    delta = {
+        name: reg.counter(name).value - start
+        for name, start in before.items()
+    }
+
+    # Gate (a): bit-identical to the serial loop, in request order.
+    identical = answers == serial
+    assert identical, "HTTP answers diverged from the serial loop"
+
+    # Gate (b): coalescing actually happened — far fewer engine batches
+    # than requests (the skewed log + admission window guarantee it).
+    batches = delta["server.coalesce.batches"]
+    requests = SERVER.requests
+    assert delta["server.coalesce.queries"] == requests
+    assert batches >= 1
+    assert batches < requests, (
+        f"no coalescing: {batches} batches for {requests} requests"
+    )
+
+    throughput = requests / http_seconds if http_seconds else float("inf")
+    serial_throughput = (requests / serial_seconds
+                         if serial_seconds else float("inf"))
+    record_figure(
+        "server_throughput",
+        f"HTTP serving: {SERVER.clients} concurrent clients, "
+        f"{SERVER.unique_queries} distinct queries x {requests} requests "
+        f"(chemical, |D|={SERVER.database_size}, "
+        f"window={SERVER.batch_window * 1000:.0f}ms)",
+        "path",
+        ["serial loop", "http server"],
+        {
+            "wall (s)": [serial_seconds, http_seconds],
+            "throughput (q/s)": [serial_throughput, throughput],
+            "engine batches": [requests, batches],
+        },
+        float_format="{:.3f}",
+    )
+
+    payload = {
+        "schema": SERVER_BENCH_SCHEMA,
+        "quick": conftest._QUICK,
+        "workload": {
+            "dataset": "chemical",
+            "database_size": SERVER.database_size,
+            "unique_queries": SERVER.unique_queries,
+            "requests": requests,
+            "query_size": SERVER.query_size,
+            "clients": SERVER.clients,
+            "batch_window": SERVER.batch_window,
+            "max_batch": SERVER.max_batch,
+            "cache_size": SERVER.cache_size,
+            "seed": SERVER.seed,
+        },
+        "serial_seconds": serial_seconds,
+        "http_seconds": http_seconds,
+        "throughput": throughput,
+        "coalescing": {
+            "requests": requests,
+            "batches": batches,
+            "coalesced": delta["server.coalesce.coalesced"],
+            "mean_batch_size": requests / batches,
+        },
+        "gate": {
+            "identical_answers": identical,
+            "coalesced": batches < requests,
+        },
+    }
+    SERVER_BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n[server telemetry written to {SERVER_BENCH_JSON}]")

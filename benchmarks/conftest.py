@@ -20,7 +20,7 @@ still hold there, but magnitudes are not meaningful.
 from __future__ import annotations
 
 import json
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import pytest
@@ -95,6 +95,28 @@ ENGINE = ThroughputExperimentConfig(
 ENGINE_BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 ENGINE_BENCH_SCHEMA = "engine-bench-v1"
 
+
+@dataclass(frozen=True)
+class ServerBenchConfig:
+    """Workload of the HTTP serving benchmark (bench_server.py)."""
+
+    database_size: int = 150
+    unique_queries: int = 20
+    requests: int = 150
+    query_size: int = 8
+    min_fanout: int = 10
+    clients: int = 8
+    batch_window: float = 0.05
+    max_batch: int = 64
+    cache_size: int = 256
+    seed: int = 7
+
+
+#: HTTP serving workload (bench_server.py -> BENCH_server.json).
+SERVER = ServerBenchConfig()
+SERVER_BENCH_JSON = REPO_ROOT / "BENCH_server.json"
+SERVER_BENCH_SCHEMA = "server-bench-v1"
+
 _QUICK = False
 #: figure name -> JSON-able series dict, flushed to BENCH_ctree.json
 _FIGURES: dict[str, dict] = {}
@@ -111,7 +133,7 @@ def pytest_addoption(parser):
 
 def pytest_configure(config):
     global _QUICK, CHEM_SWEEP, SYNTH_SWEEP, INDEX_SIZE, MAPPING_QUALITY, KNN
-    global ENGINE
+    global ENGINE, SERVER
     if not config.getoption("--quick", default=False):
         return
     _QUICK = True
@@ -134,6 +156,10 @@ def pytest_configure(config):
     ENGINE = replace(
         ENGINE, database_size=60, unique_queries=6, batch_size=30,
         workers=(1, 2),
+    )
+    SERVER = replace(
+        SERVER, database_size=60, unique_queries=6, requests=30,
+        clients=4,
     )
 
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run the worked ``curl`` session from ``docs/SERVING.md`` verbatim.
+
+Doc-as-test: the serving guide's "Worked curl session" section is the
+executable specification of the HTTP API.  This script extracts every
+fenced ``bash`` code block under that heading and executes them, in
+order, as one ``bash -euo pipefail`` script — so if the documentation
+drifts from the server, the CI ``serve-smoke`` job (and the local
+``tests/test_serving_docs.py``) fails.
+
+The session expects a server already listening on
+``localhost:${REPRO_PORT:-8744}`` (CI boots ``repro serve`` around it).
+
+Usage::
+
+    python scripts/doc_session.py              # extract + run
+    python scripts/doc_session.py --print      # just show the script
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC = REPO_ROOT / "docs" / "SERVING.md"
+HEADING = "## Worked curl session"
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def extract_session(text: str) -> str:
+    """The concatenated ``bash`` blocks under the session heading."""
+    lines = text.splitlines()
+    blocks: list[str] = []
+    in_section = False
+    in_block = False
+    current: list[str] = []
+    for line in lines:
+        if line.startswith("## "):
+            in_section = line.strip() == HEADING
+            continue
+        if not in_section:
+            continue
+        fence = _FENCE.match(line)
+        if fence and not in_block:
+            if fence.group(1) == "bash":
+                in_block = True
+                current = []
+            continue
+        if in_block:
+            if line.strip() == "```":
+                in_block = False
+                blocks.append("\n".join(current))
+            else:
+                current.append(line)
+    if not blocks:
+        raise SystemExit(
+            f"{DOC}: no bash blocks found under {HEADING!r}"
+        )
+    return "\n\n".join(blocks)
+
+
+def main(argv=None) -> int:
+    """Extract the documented session and run (or print) it."""
+    args = sys.argv[1:] if argv is None else argv
+    session = extract_session(DOC.read_text(encoding="utf-8"))
+    script = "set -euo pipefail\n" + session + "\n"
+    if "--print" in args:
+        print(script, end="")
+        return 0
+    print(f"[doc_session] running {HEADING!r} from {DOC}", flush=True)
+    result = subprocess.run(["bash", "-c", script], cwd=REPO_ROOT)
+    if result.returncode == 0:
+        print("[doc_session] session passed")
+    return result.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Gives the library's main workflows a shell-level surface:
 - ``bench``    — serve a JSONL query batch serially and through the
   batched engine at several worker counts, verify the answers are
   identical, and print a throughput table;
+- ``serve``    — HTTP server over a saved index: batched ``/query`` and
+  ``/knn`` endpoints with request coalescing, Prometheus ``/metrics``,
+  and an fsck-backed ``/healthz`` (full reference in docs/SERVING.md);
 - ``info``     — statistics of a database or saved index;
 - ``recover``  — replay a disk index's write-ahead log after a crash and
   validate the result;
@@ -329,6 +332,39 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: HTTP serving layer over a saved index."""
+    from repro.server import QueryServer, ServerConfig
+
+    if args.tree.endswith(".ctp"):
+        # The server never writes: open without a WAL handle, and make a
+        # crashed index an explicit operator action rather than a silent
+        # auto-recovery at serve time.
+        index = DiskCTree.open(args.tree, cache_pages=args.cache_pages,
+                               wal=False, auto_recover=False)
+    else:
+        index = load_tree(args.tree)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        cache_pages=args.cache_pages,
+        batch_window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        client_cap=args.client_cap,
+        stream_threshold=args.stream_threshold,
+        healthz_ttl=args.healthz_ttl,
+    )
+    server = QueryServer(index, config)
+    try:
+        server.serve_forever()
+    finally:
+        if isinstance(index, DiskCTree):
+            index.close()
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     path = args.input
     if path.endswith(".ctp"):
@@ -500,6 +536,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--cache-pages", type=int, default=128)
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP server over a saved index (see docs/SERVING.md)",
+    )
+    p.add_argument("-t", "--tree", required=True,
+                   help="*.json snapshot or *.ctp disk index")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8744,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="engine worker processes (default 1)")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="LRU answer-cache capacity (0 disables)")
+    p.add_argument("--window-ms", type=float, default=10.0,
+                   help="batch-coalescing admission window (default 10ms)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max queries coalesced per engine batch")
+    p.add_argument("--client-cap", type=int, default=8,
+                   help="per-client in-flight cap before 429")
+    p.add_argument("--stream-threshold", type=int, default=1000,
+                   help="answer count that forces NDJSON streaming")
+    p.add_argument("--healthz-ttl", type=float, default=5.0,
+                   help="seconds a /healthz probe result is cached")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("info", help="statistics of a database or index")
     p.add_argument("-i", "--input", required=True,

@@ -524,7 +524,20 @@ class DiskCTree:
         """Batch subgraph queries through the batched engine
         (:class:`~repro.ctree.parallel.QueryEngine`); each worker opens
         its own read-only handle over this page file.  Answers are
-        bit-identical to a serial :meth:`subgraph_query` loop."""
+        bit-identical to a serial :meth:`subgraph_query` loop.
+
+        This convenience spins an engine up per call; a serving process
+        should hold one long-lived :class:`QueryEngine` (or run
+        ``repro serve``) instead.
+
+        Examples
+        --------
+        ::
+
+            with DiskCTree.open("index.ctp") as disk:
+                results = disk.query_many(queries, workers=4)
+                answer_sets = [answers for answers, _ in results]
+        """
         from repro.ctree.parallel import QueryEngine
 
         self._check_open()
@@ -542,7 +555,15 @@ class DiskCTree:
         cache_size: int = 256,
     ) -> list[tuple[list[tuple[int, float]], "DiskKnnStats"]]:
         """Batch K-NN queries through the batched engine (same
-        guarantees as :meth:`query_many`)."""
+        guarantees as :meth:`query_many`).
+
+        Examples
+        --------
+        ::
+
+            with DiskCTree.open("index.ctp") as disk:
+                (neighbors, stats), = disk.knn_many([probe], k=5)
+        """
         from repro.ctree.parallel import QueryEngine
 
         self._check_open()
@@ -756,6 +777,15 @@ class DiskCTree:
         resolve, every page must be reachable or free, and parent
         closures must contain their children.  ``deep=True`` further
         checks each leaf graph pseudo-isomorphic into its leaf closure.
+
+        Examples
+        --------
+        After a crash (the CLI equivalent is ``repro recover``)::
+
+            result = DiskCTree.recover("index.ctp")
+            if not result.ok:
+                raise SystemExit(result.summary())
+            disk = DiskCTree.open("index.ctp")   # last committed state
         """
         storage = storage_recover(path, opener=opener)
         report = None
@@ -777,6 +807,18 @@ class DiskCTree:
         level-1 pseudo-subgraph-isomorphism test of every leaf graph
         into its leaf closure (sound by the paper's Lemma 1: a closure
         contains each member graph as a subgraph-with-wildcards).
+
+        The report is machine-readable and read-only to produce — the
+        query server's ``/healthz`` endpoint runs exactly this
+        (non-deep) probe on a timer; see ``docs/SERVING.md``.
+
+        Examples
+        --------
+        ::
+
+            report = DiskCTree.fsck("index.ctp")
+            assert report.clean, report.errors
+            print(report.summary())   # pages, nodes, graphs, generation
         """
         report = FsckReport(path=str(path), deep=deep)
         if needs_recovery(path):

@@ -143,6 +143,7 @@ class BatchReport:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of the batch answered from the LRU answer cache."""
         return self.cache_hits / self.queries if self.queries else 0.0
 
     @property
@@ -170,6 +171,26 @@ class QueryEngine:
         Buffer-pool capacity of each per-worker disk handle.
 
     Use as a context manager, or call :meth:`close` to reap the pool.
+
+    The worker pool is **long-lived**: it is spawned once (lazily on the
+    first parallel batch, or eagerly via :meth:`start`) and reused by
+    every subsequent batch, so steady-state serving pays no fork or
+    copy-on-write cost per batch.  The HTTP serving layer
+    (:mod:`repro.server`) calls :meth:`start` before accepting traffic
+    and :meth:`refresh` after an index mutation.
+
+    Examples
+    --------
+    Serve a batch and inspect what the engine did::
+
+        from repro.ctree.bulkload import bulk_load
+        from repro.ctree.parallel import QueryEngine
+
+        tree = bulk_load(graphs, min_fanout=10)
+        with QueryEngine(tree, workers=4).start() as engine:
+            results = engine.query_many(queries)       # [(answers, stats)]
+            report = engine.last_batch
+            print(report.throughput, report.cache_hit_rate)
     """
 
     def __init__(
@@ -189,6 +210,7 @@ class QueryEngine:
         self._entries = 0
         self._pool = None
         self._pool_workers = 0
+        self._refresh_hooks: list = []
         self.last_batch: Optional[BatchReport] = None
         disk = isinstance(index, DiskCTree)
         self._fork_ok = (
@@ -210,7 +232,18 @@ class QueryEngine:
 
         Returns ``[(answers, stats), ...]`` in input order,
         bit-identical to the serial per-query loop at every worker
-        count.
+        count.  ``level`` and ``verify`` mean exactly what they mean on
+        :func:`~repro.ctree.subgraph_query.subgraph_query`; ``workers``
+        overrides the engine default for this batch only.
+
+        Examples
+        --------
+        ::
+
+            with QueryEngine(tree, workers=4) as engine:
+                for answers, stats in engine.query_many(queries):
+                    print(sorted(answers), stats.candidates)
+            # identical to: [subgraph_query(tree, q) for q in queries]
         """
         return self._run_batch(
             _KIND_SUBGRAPH, queries, (level, verify), workers
@@ -224,18 +257,72 @@ class QueryEngine:
         workers: Optional[int] = None,
     ) -> list[tuple[list[tuple[int, float]], KnnStats]]:
         """Answer a batch of K-NN queries (same guarantees as
-        :meth:`query_many`)."""
+        :meth:`query_many`).
+
+        Returns ``[(results, stats), ...]`` in input order, where each
+        ``results`` is the ``[(graph_id, similarity), ...]`` list that
+        :func:`~repro.ctree.similarity_query.knn_query` returns.
+
+        Examples
+        --------
+        ::
+
+            with QueryEngine(tree) as engine:
+                (neighbors, stats), = engine.knn_many([probe], k=5)
+                best_id, best_sim = neighbors[0]
+        """
         return self._run_batch(_KIND_KNN, queries, (k, mapping_method),
                                workers)
 
+    def start(self, workers: Optional[int] = None) -> "QueryEngine":
+        """Eagerly spawn the long-lived worker pool; returns ``self``.
+
+        Without this, the pool forks lazily on the first parallel batch
+        — fine for scripts, but a serving process wants the fork (and
+        its copy-on-write page sharing) to happen once at startup,
+        before traffic and before the process grows threads.  Calling
+        :meth:`start` when the pool already exists at the right size is
+        a no-op.
+
+        Examples
+        --------
+        ::
+
+            engine = QueryEngine(tree, workers=4).start()  # forks now
+            engine.query_many(batch)                       # no fork here
+        """
+        if workers is not None:
+            self.workers = max(1, int(workers))
+        if self.workers > 1 and self._fork_ok:
+            self._ensure_pool(self.workers)
+        return self
+
     def refresh(self) -> None:
-        """Drop the answer cache and respawn workers on next use — call
-        after mutating the underlying index."""
+        """Drop the answer cache and respawn the workers over the
+        mutated index — call after every index mutation.
+
+        If a pool was running it is respawned *immediately* (the new
+        workers re-inherit or reopen the index as it now exists), so a
+        serving process never pays the fork on the next query's
+        latency.  Hooks registered via :meth:`on_refresh` run last —
+        the HTTP server uses this to invalidate anything it derived
+        from the old index generation.
+        """
         self._cache.clear()
         self._entries = 0
+        had_pool = self._pool_workers
         self._close_pool()
+        if had_pool > 1:
+            self._ensure_pool(had_pool)
+        for hook in self._refresh_hooks:
+            hook(self)
+
+    def on_refresh(self, hook) -> None:
+        """Register ``hook(engine)`` to run after every :meth:`refresh`."""
+        self._refresh_hooks.append(hook)
 
     def close(self) -> None:
+        """Reap the worker pool (idempotent)."""
         self._close_pool()
 
     def __enter__(self) -> "QueryEngine":
@@ -404,6 +491,7 @@ class QueryEngine:
 
     @property
     def cache_entries(self) -> int:
+        """Answers currently held by the LRU cache (across buckets)."""
         return self._entries
 
     # ------------------------------------------------------------------

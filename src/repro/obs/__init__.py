@@ -5,6 +5,8 @@
   instrumented subsystem reports into.
 - :mod:`repro.obs.trace` — ``contextvars``-nested timed spans emitted as
   JSONL through pluggable sinks, with a flame-style text summary.
+- :mod:`repro.obs.prometheus` — Prometheus text-exposition rendering of
+  a registry (the query server's ``GET /metrics`` payload).
 
 See ``docs/OBSERVABILITY.md`` for the metric names and span taxonomy.
 """
@@ -18,6 +20,7 @@ from repro.obs.metrics import (
     diff_snapshots,
     global_registry,
 )
+from repro.obs.prometheus import prometheus_name, render_prometheus
 from repro.obs.trace import (
     JsonlSink,
     ListSink,
@@ -43,7 +46,9 @@ __all__ = [
     "format_trace_summary",
     "global_registry",
     "phase_totals",
+    "prometheus_name",
     "read_jsonl",
+    "render_prometheus",
     "summarize",
     "trace",
     "tracing",

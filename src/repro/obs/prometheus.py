@@ -1,0 +1,117 @@
+"""Prometheus text-exposition rendering for :class:`MetricsRegistry`.
+
+The registry's dotted metric names (``engine.cache_hits``,
+``bufferpool.hits``) map onto the Prometheus data model as follows:
+
+- dots (and any other character outside ``[a-zA-Z0-9_:]``) become
+  underscores — ``engine.cache_hits`` renders as ``engine_cache_hits``;
+- :class:`~repro.obs.metrics.Counter` values gain the conventional
+  ``_total`` suffix and a ``# TYPE ... counter`` line;
+- :class:`~repro.obs.metrics.Gauge` values render verbatim as gauges;
+- :class:`~repro.obs.metrics.Histogram` values render in the native
+  Prometheus histogram form: *cumulative* ``_bucket{le="..."}`` series
+  (our buckets store per-bin counts, so this module does the cumulative
+  sum), a ``{le="+Inf"}`` bucket equal to the observation count, and
+  ``_sum`` / ``_count`` series.
+
+The output conforms to the Prometheus `text exposition format v0.0.4
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ and is
+what the query server's ``GET /metrics`` endpoint returns
+(``docs/SERVING.md``).
+
+Examples
+--------
+>>> from repro.obs.metrics import MetricsRegistry
+>>> reg = MetricsRegistry()
+>>> reg.counter("server.http.requests").inc(3)
+>>> print(render_prometheus(reg), end="")
+# TYPE server_http_requests_total counter
+server_http_requests_total 3
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+
+__all__ = ["CONTENT_TYPE", "prometheus_name", "render_prometheus"]
+
+#: The Content-Type a Prometheus scraper expects for this payload.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a registry metric name into a legal Prometheus name.
+
+    >>> prometheus_name("engine.per_batch.wall_seconds")
+    'engine_per_batch_wall_seconds'
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value) -> str:
+    """A Prometheus-parseable number literal (handles the IEEE specials)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    return str(value)
+
+
+def _render_histogram(lines: list[str], name: str, hist: Histogram) -> None:
+    """Append one histogram's cumulative bucket/sum/count series."""
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.bucket_counts):
+        cumulative += count
+        lines.append(
+            f'{name}_bucket{{le="{_format_value(float(bound))}"}} '
+            f"{cumulative}"
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+    lines.append(f"{name}_sum {_format_value(hist.total)}")
+    lines.append(f"{name}_count {hist.count}")
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render ``registry`` (default: the process-wide one) as Prometheus
+    exposition text, metrics sorted by name.
+
+    Examples
+    --------
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> reg = MetricsRegistry()
+    >>> reg.gauge("server.inflight").set(2)
+    >>> render_prometheus(reg)
+    '# TYPE server_inflight gauge\\nserver_inflight 2\\n'
+    """
+    reg = registry if registry is not None else global_registry()
+    lines: list[str] = []
+    for name in reg.names():
+        metric = reg.get(name)
+        exposed = prometheus_name(name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {exposed}_total counter")
+            lines.append(f"{exposed}_total {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            _render_histogram(lines, exposed, metric)
+    return "\n".join(lines) + "\n" if lines else "\n"

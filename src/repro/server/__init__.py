@@ -1,0 +1,41 @@
+"""HTTP serving layer for the batched query engine.
+
+``repro serve`` (or :class:`QueryServer` directly) puts the
+:class:`~repro.ctree.parallel.QueryEngine` behind a stdlib-only asyncio
+HTTP/1.1 server:
+
+- :mod:`repro.server.protocol` — request/response framing, typed
+  protocol errors, chunked NDJSON streaming;
+- :mod:`repro.server.coalescer` — time/size-windowed coalescing of
+  concurrent requests into ``query_many``/``knn_many`` batches, with
+  per-client backpressure (HTTP 429);
+- :mod:`repro.server.app` — routing, strict graph-JSON validation,
+  ``/metrics`` (Prometheus text) and ``/healthz`` (``fsck`` probe).
+
+The API reference, streaming format, error codes and the ops runbook
+live in ``docs/SERVING.md``.
+
+Examples
+--------
+>>> from repro.server import QueryServer, ServerConfig
+>>> # QueryServer(tree, ServerConfig(port=8744)).serve_forever()
+"""
+
+from repro.server.app import QueryServer, ServerConfig, ServerThread
+from repro.server.coalescer import BackpressureError, BatchCoalescer
+from repro.server.protocol import (
+    ChunkedNdjsonWriter,
+    HTTPRequest,
+    ProtocolError,
+)
+
+__all__ = [
+    "BackpressureError",
+    "BatchCoalescer",
+    "ChunkedNdjsonWriter",
+    "HTTPRequest",
+    "ProtocolError",
+    "QueryServer",
+    "ServerConfig",
+    "ServerThread",
+]

@@ -1,0 +1,272 @@
+"""Admission control and batch coalescing for the query server.
+
+The :class:`~repro.ctree.parallel.QueryEngine` earns its throughput on
+*batches* (deduplication, answer cache, multiprocess fan-out) — but HTTP
+clients send one query per request.  :class:`BatchCoalescer` closes that
+gap: concurrent in-flight requests with the same execution parameters
+are collected into one ``query_many``/``knn_many`` call using a
+time/size admission window (wait at most ``window`` seconds after the
+first request, never batch more than ``max_batch``), and each caller
+gets exactly the ``(answers, stats)`` pair the serial API would have
+returned — the engine's determinism contract makes coalescing invisible
+to clients.
+
+Backpressure is per client: a client (identified by ``X-Client-Id`` or
+its peer address) may have at most ``client_cap`` requests in flight;
+beyond that :meth:`BatchCoalescer.submit` raises
+:class:`BackpressureError`, which the app layer answers with ``429
+Too Many Requests`` + ``Retry-After``.
+
+The engine itself is not thread-safe and forks worker processes, so all
+engine calls run on one dedicated executor thread; the pool is spawned
+once at server startup (:meth:`QueryEngine.start
+<repro.ctree.parallel.QueryEngine.start>`), so steady-state batches pay
+neither fork nor thread startup.
+
+Examples
+--------
+Inside the asyncio app::
+
+    coalescer = BatchCoalescer(engine, window=0.01, max_batch=64)
+    await coalescer.start()
+    answers, stats = await coalescer.submit(
+        "subgraph", (1, True), query, client="10.0.0.7")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ctree.parallel import QueryEngine
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+__all__ = ["BackpressureError", "BatchCoalescer"]
+
+#: Admission-window histogram buckets (batch sizes 1..max_batch).
+_BATCH_SIZE_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class BackpressureError(ReproError):
+    """A client exceeded its in-flight request cap (HTTP 429)."""
+
+    def __init__(self, client: str, cap: int) -> None:
+        super().__init__(
+            f"client {client!r} already has {cap} requests in flight"
+        )
+        self.client = client
+        self.cap = cap
+
+
+@dataclass
+class _Pending:
+    """One admitted query waiting to be batched."""
+
+    kind: str
+    params: tuple
+    query: Graph
+    future: asyncio.Future = field(compare=False)
+
+    @property
+    def group(self) -> tuple:
+        """Queries batch together iff kind and parameters agree."""
+        return (self.kind, self.params)
+
+
+class BatchCoalescer:
+    """Coalesce concurrent requests into deterministic engine batches.
+
+    Parameters
+    ----------
+    engine:
+        The (already constructed) :class:`QueryEngine`; call its
+        :meth:`~repro.ctree.parallel.QueryEngine.start` before serving
+        so the worker pool exists before the first request.
+    window:
+        Seconds to keep the admission window open after the first
+        request of a batch (0 disables time-based coalescing; requests
+        already queued still batch together).
+    max_batch:
+        Hard cap on queries per engine call.
+    client_cap:
+        Maximum in-flight requests per client before
+        :class:`BackpressureError`.
+    registry:
+        Metrics registry for the ``server.coalesce.*`` /
+        ``server.backpressure.*`` family (default: process-wide).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        window: float = 0.010,
+        max_batch: int = 64,
+        client_cap: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.engine = engine
+        self.window = max(0.0, float(window))
+        self.max_batch = max(1, int(max_batch))
+        self.client_cap = max(1, int(client_cap))
+        self._registry = registry if registry is not None \
+            else global_registry()
+        self._queue: Optional[asyncio.Queue] = None
+        self._carry: Optional[_Pending] = None
+        self._inflight: dict[str, int] = {}
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the dispatcher task and the engine executor thread."""
+        self._queue = asyncio.Queue()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-engine"
+        )
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    async def stop(self) -> None:
+        """Cancel the dispatcher and fail any still-pending requests."""
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        pending = []
+        if self._carry is not None:
+            pending.append(self._carry)
+            self._carry = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                pending.append(self._queue.get_nowait())
+        for item in pending:
+            if not item.future.done():
+                item.future.set_exception(
+                    ReproError("server shutting down")
+                )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def inflight(self, client: str) -> int:
+        """Requests currently admitted for ``client``."""
+        return self._inflight.get(client, 0)
+
+    async def submit(self, kind: str, params: tuple, query: Graph,
+                     client: str = "") -> tuple:
+        """Admit one query and await its batched result.
+
+        Returns the ``(answers, stats)`` pair of the underlying engine
+        call, bit-identical to what the serial API would return.  Raises
+        :class:`BackpressureError` when ``client`` is over its cap.
+        """
+        if self._queue is None:
+            raise ReproError("coalescer not started")
+        count = self._inflight.get(client, 0)
+        if count >= self.client_cap:
+            self._registry.counter("server.backpressure.rejections").inc()
+            raise BackpressureError(client, self.client_cap)
+        self._inflight[client] = count + 1
+        self._registry.gauge("server.inflight").inc()
+        future = asyncio.get_running_loop().create_future()
+        item = _Pending(kind=kind, params=params, query=query, future=future)
+        try:
+            self._queue.put_nowait(item)
+            return await future
+        finally:
+            remaining = self._inflight.get(client, 1) - 1
+            if remaining:
+                self._inflight[client] = remaining
+            else:
+                self._inflight.pop(client, None)
+            self._registry.gauge("server.inflight").dec()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _collect_batch(self) -> list[_Pending]:
+        """One admission window: the first pending query plus every
+        same-group query that arrives before the window closes."""
+        assert self._queue is not None
+        if self._carry is not None:
+            first, self._carry = self._carry, None
+        else:
+            first = await self._queue.get()
+        batch = [first]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.window
+        while len(batch) < self.max_batch:
+            if not self._queue.empty():
+                nxt = self._queue.get_nowait()
+            else:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+            if nxt.group == first.group:
+                batch.append(nxt)
+            else:
+                # A different (kind, params) group starts the next batch
+                # — groups never mix inside one engine call.
+                self._carry = nxt
+                break
+        return batch
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = await self._collect_batch()
+            await self._execute(batch)
+
+    async def _execute(self, batch: list[_Pending]) -> None:
+        """Run one coalesced batch on the engine executor thread and
+        fan results back out to the waiting futures."""
+        kind, params = batch[0].group
+        queries = [item.query for item in batch]
+        self._registry.counter("server.coalesce.batches").inc()
+        self._registry.counter("server.coalesce.queries").inc(len(batch))
+        if len(batch) > 1:
+            self._registry.counter("server.coalesce.coalesced").inc(
+                len(batch) - 1
+            )
+        self._registry.histogram(
+            "server.coalesce.batch_size", bounds=_BATCH_SIZE_BOUNDS
+        ).observe(len(batch))
+
+        def call():
+            if kind == "subgraph":
+                level, verify = params
+                return self.engine.query_many(queries, level=level,
+                                              verify=verify)
+            k, mapping_method = params
+            return self.engine.knn_many(queries, k,
+                                        mapping_method=mapping_method)
+
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(self._executor, call)
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        for item, result in zip(batch, results):
+            if not item.future.done():
+                item.future.set_result(result)

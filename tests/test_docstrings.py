@@ -1,0 +1,56 @@
+"""The documented serving surface must stay documented.
+
+Runs the stdlib docstring linter (``scripts/lint_docstrings.py``, a
+pydocstyle-D1-style AST checker) over the serving API surface —
+``src/repro/server/``, the batched engine, and the Prometheus exporter —
+so the reference material in ``docs/SERVING.md`` cannot drift from an
+undocumented implementation.  CI runs the same script standalone (plus
+``ruff``'s D rules where available).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SCRIPTS = Path(__file__).parent.parent / "scripts"
+sys.path.insert(0, str(_SCRIPTS))
+
+from lint_docstrings import DEFAULT_PATHS, lint_file, lint_paths  # noqa: E402
+
+
+def test_serving_surface_is_fully_documented():
+    violations = lint_paths(DEFAULT_PATHS)
+    assert not violations, "\n".join(violations)
+
+
+def test_linter_catches_missing_docstrings(tmp_path):
+    """The linter itself must not be vacuous."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        '"""Module docstring."""\n'
+        "class Public:\n"
+        "    def method(self):\n"
+        "        pass\n"
+        "def helper():\n"
+        "    pass\n"
+        "def _private():\n"
+        "    pass\n"
+    )
+    messages = [msg for _, msg in lint_file(bad)]
+    assert len(messages) == 3  # class, method, function; _private exempt
+    assert any("Public" in m for m in messages)
+    assert any("Public.method" in m for m in messages)
+    assert any("helper" in m for m in messages)
+
+
+def test_linter_accepts_documented_code(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        '"""Module."""\n'
+        "class Public:\n"
+        '    """Class."""\n'
+        "    def method(self):\n"
+        '        """Method."""\n'
+    )
+    assert lint_file(good) == []

@@ -1,0 +1,69 @@
+"""Doc-as-test: the ``docs/SERVING.md`` worked curl session must run.
+
+Boots a real server over the golden chemical dataset (disk index, built
+exactly as the doc's setup commands describe: ``min-fanout 3``) and
+executes every ``bash`` block under "## Worked curl session" verbatim
+via ``scripts/doc_session.py`` — the same script the CI ``serve-smoke``
+job runs against a ``repro serve`` process.  If the documentation and
+the server disagree, this fails.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.diskindex import DiskCTree
+from repro.graphs.io import load_graph_database
+from repro.server import QueryServer, ServerConfig
+
+_REPO = Path(__file__).parent.parent
+_DATA = Path(__file__).parent / "data"
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("curl") is None or shutil.which("bash") is None,
+    reason="the documented session needs curl and bash",
+)
+
+
+def test_worked_curl_session_runs_verbatim(tmp_path):
+    db = load_graph_database(_DATA / "golden_chem.jsonl")
+    tree = bulk_load(db, min_fanout=3)
+    path = tmp_path / "serving-demo.ctp"
+    disk = DiskCTree.create(tree, path)
+    try:
+        srv = QueryServer(disk, ServerConfig(port=0))
+        with srv.run_in_thread() as handle:
+            env = dict(os.environ, REPRO_PORT=str(handle.port))
+            result = subprocess.run(
+                [sys.executable, str(_REPO / "scripts" / "doc_session.py")],
+                env=env, cwd=_REPO, capture_output=True, text=True,
+                timeout=120,
+            )
+            assert result.returncode == 0, (
+                f"documented session failed:\n--- stdout ---\n"
+                f"{result.stdout}\n--- stderr ---\n{result.stderr}"
+            )
+            assert "session passed" in result.stdout
+    finally:
+        disk.close()
+
+
+def test_extractor_finds_the_session():
+    sys.path.insert(0, str(_REPO / "scripts"))
+    from doc_session import DOC, extract_session
+
+    session = extract_session(DOC.read_text(encoding="utf-8"))
+    # The doc promises these interactions; the extractor must see them.
+    assert "/healthz" in session
+    assert "/query" in session
+    assert "/knn" in session
+    assert "/metrics" in session
+    assert 'test "$code" = "400"' in session
+    assert "REPRO_PORT" in session
