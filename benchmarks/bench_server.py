@@ -9,10 +9,16 @@ core promises:
     in-process ``subgraph_query`` loop over the same log, bit for bit;
 (b) **coalescing** — concurrent requests demonstrably share engine
     batches: the number of dispatched batches stays well below the
-    number of requests served.
+    number of requests served;
+(c) **tracing is free when off** — the per-request cost of the
+    disabled instrumentation (request-id mint + nested no-op spans),
+    microbenched in-process, stays under ``TRACING_OVERHEAD_CAP`` of
+    this run's own mean request latency.
 
 Latency/throughput are reported (serial loop vs HTTP wall time) but not
-gated — CI boxes are too noisy for timing floors across a socket.
+gated — CI boxes are too noisy for timing floors across a socket.  The
+tracing-overhead gate is a *ratio* against the same run's latency, so
+machine speed cancels out.
 
 Writes ``BENCH_server.json`` at the repo root (schema
 ``server-bench-v1``, uploaded as a CI artifact) plus the usual
@@ -39,7 +45,33 @@ from repro.ctree.subgraph_query import subgraph_query
 from repro.datasets.chemical import generate_chemical_database
 from repro.datasets.queries import generate_subgraph_queries
 from repro.experiments.subgraph_experiments import skewed_query_log
-from repro.server import QueryServer, ServerConfig
+from repro.obs import trace
+from repro.server import QueryServer, ServerConfig, new_request_id
+
+#: Tracing must be pay-for-what-you-use: with no sink enabled, the
+#: instrumentation on the request path may cost at most this fraction
+#: of a mean request's latency.
+TRACING_OVERHEAD_CAP = 0.02
+
+
+def _tracing_overhead_per_request(reps: int = 2000) -> float:
+    """Per-request cost of the disabled-tracing instrumentation.
+
+    Times ``reps`` iterations of what every untraced request pays: a
+    request-id mint plus the three nested no-op spans on its hot path
+    (``server.request`` -> ``coalescer.batch`` -> ``engine.batch``),
+    and returns the mean seconds per iteration.  Measured with the
+    tracer off, exactly like the serving benchmark itself.
+    """
+    assert not trace.enabled(), "overhead microbench needs tracing off"
+    start = time.perf_counter()
+    for _ in range(reps):
+        new_request_id()
+        with trace.span("server.request"):
+            with trace.span("coalescer.batch"):
+                with trace.span("engine.batch"):
+                    pass
+    return (time.perf_counter() - start) / reps
 
 
 def _post_query(port: int, query_dict: dict) -> list[int]:
@@ -107,6 +139,20 @@ def test_server_throughput(benchmark):
         f"no coalescing: {batches} batches for {requests} requests"
     )
 
+    # Gate (c): disabled tracing is effectively free.  Compare the
+    # microbenched per-request instrumentation cost against this run's
+    # own mean request latency (wall time x clients / requests — what a
+    # single request experienced on average).
+    overhead_seconds = _tracing_overhead_per_request()
+    mean_latency = http_seconds * SERVER.clients / requests
+    overhead_fraction = (overhead_seconds / mean_latency
+                         if mean_latency else 0.0)
+    assert overhead_fraction < TRACING_OVERHEAD_CAP, (
+        f"disabled tracing costs {overhead_fraction:.2%} of a mean "
+        f"request ({overhead_seconds * 1e6:.1f}us of "
+        f"{mean_latency * 1e3:.2f}ms); cap is {TRACING_OVERHEAD_CAP:.0%}"
+    )
+
     throughput = requests / http_seconds if http_seconds else float("inf")
     serial_throughput = (requests / serial_seconds
                          if serial_seconds else float("inf"))
@@ -150,9 +196,17 @@ def test_server_throughput(benchmark):
             "coalesced": delta["server.coalesce.coalesced"],
             "mean_batch_size": requests / batches,
         },
+        "tracing_overhead": {
+            "per_request_seconds": overhead_seconds,
+            "mean_request_latency_seconds": mean_latency,
+            "fraction_of_latency": overhead_fraction,
+            "cap": TRACING_OVERHEAD_CAP,
+        },
         "gate": {
             "identical_answers": identical,
             "coalesced": batches < requests,
+            "tracing_overhead_under_cap":
+                overhead_fraction < TRACING_OVERHEAD_CAP,
         },
     }
     SERVER_BENCH_JSON.write_text(

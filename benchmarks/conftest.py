@@ -177,6 +177,37 @@ def record_table(name: str, text: str, data: dict | None = None) -> None:
     print(f"\n{text}\n[written to benchmarks/results/{name}.txt]")
 
 
+def validate_chrome_trace(payload: dict) -> int:
+    """Schema-check a Chrome trace-event export; return the event count.
+
+    Asserts the shape :func:`repro.obs.trace.chrome_trace` promises (and
+    ``chrome://tracing`` / Perfetto require): a ``traceEvents`` list of
+    complete events (``ph == "X"``) with string names, numeric
+    microsecond ``ts``/``dur``, and ``ts``-sorted order.  Used by
+    ``bench_trace_explain.py`` and the CI bench-smoke job to keep the
+    uploaded trace artifact loadable.
+    """
+    assert isinstance(payload, dict), "chrome trace must be a JSON object"
+    events = payload.get("traceEvents")
+    assert isinstance(events, list) and events, "traceEvents missing/empty"
+    assert payload.get("displayTimeUnit") == "ms"
+    last_ts = float("-inf")
+    for event in events:
+        assert isinstance(event, dict)
+        for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            assert key in event, f"trace event missing {key!r}: {event}"
+        assert event["ph"] == "X", "only complete events are emitted"
+        assert isinstance(event["name"], str) and event["name"]
+        assert isinstance(event["ts"], (int, float))
+        assert isinstance(event["dur"], (int, float))
+        assert event["dur"] >= 0
+        assert event["ts"] >= last_ts, "traceEvents must be ts-sorted"
+        last_ts = event["ts"]
+        args = event.get("args", {})
+        assert "span_id" in args, "span_id arg required for ancestry"
+    return len(events)
+
+
 def record_figure(
     name: str,
     title: str,

@@ -20,9 +20,13 @@ Gives the library's main workflows a shell-level surface:
 - ``fsck``     — integrity-check a disk index (checksums, page
   accounting, closure containment);
 - ``trace``    — run a subgraph query with span tracing on, writing a
-  JSONL trace (or summarize an existing trace file);
-- ``metrics``  — run a subgraph query and dump the metrics-registry
-  delta it caused as JSON.
+  JSONL or Chrome trace-event file (or summarize/convert an existing
+  trace file);
+- ``explain``  — run a subgraph or k-NN query and print its EXPLAIN
+  profile: per-level node visits and pruning, verification cost, and
+  (for disk indexes) buffer-pool hits;
+- ``metrics``  — run a subgraph query and show the metrics-registry
+  delta it caused (sorted table, or JSON with ``--json``).
 
 Graphs on the command line are JSON, either inline or ``@file``:
 
@@ -294,19 +298,43 @@ def _run_subgraph_query(args: argparse.Namespace):
             index.close()
 
 
+def _write_chrome_trace(records, path: str) -> int:
+    """Convert span records to Chrome trace-event JSON at ``path``."""
+    payload = obs_trace.chrome_trace(records)
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(payload["traceEvents"])
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.input:
-        print(obs_trace.format_trace_summary(obs_trace.read_jsonl(args.input)))
+        records = obs_trace.read_jsonl(args.input)
+        if args.format == "chrome":
+            events = _write_chrome_trace(records, args.out)
+            print(f"wrote {events} trace events to {args.out}")
+        else:
+            print(obs_trace.format_trace_summary(records))
         return 0
     if not (args.tree and args.query):
         raise SystemExit(
             "error: provide -t/-q to run a traced query, "
-            "or -i to summarize an existing trace file"
+            "or -i to summarize/convert an existing trace file"
         )
-    sink = obs_trace.JsonlSink(args.out)
-    with obs_trace.tracing(sink):
-        answers, stats = _run_subgraph_query(args)
-    print(f"wrote {sink.count} spans to {args.out}")
+    if args.format == "chrome":
+        sink = obs_trace.ListSink()
+        with obs_trace.tracing(sink):
+            answers, stats = _run_subgraph_query(args)
+        _write_chrome_trace(sink.records, args.out)
+        print(f"wrote {len(sink.records)} spans to {args.out} "
+              f"(chrome trace)")
+        records = sink.records
+    else:
+        sink = obs_trace.JsonlSink(args.out)
+        with obs_trace.tracing(sink):
+            answers, stats = _run_subgraph_query(args)
+        print(f"wrote {sink.count} spans to {args.out}")
+        records = None
     print(
         f"|CS|={stats.candidates} |Ans|={stats.answers} "
         f"gamma={stats.access_ratio:.2f} "
@@ -314,8 +342,129 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     if args.summary:
         print()
-        print(obs_trace.format_trace_summary(obs_trace.read_jsonl(args.out)))
+        if records is None:
+            records = obs_trace.read_jsonl(args.out)
+        print(obs_trace.format_trace_summary(records))
     return 0
+
+
+def _format_explain(profile: dict) -> str:
+    """Render an EXPLAIN profile (``QueryStats.explain()`` /
+    ``KnnStats.explain()``) as a human-readable report."""
+    lines = []
+    if profile.get("kind") == "knn":
+        exp = profile["expansion"]
+        lines.append(
+            f"knn query over {profile['database_size']} graphs"
+        )
+        lines.append(
+            f"expansion: {exp['nodes_expanded']} nodes expanded, "
+            f"{exp['children_scored']} children scored, "
+            f"{exp['graphs_scored']} graphs scored, "
+            f"{exp['pruned_by_bound']} subtrees pruned by bound"
+        )
+        lines.append(
+            f"results: {exp['results']}  "
+            f"gamma={profile['access_ratio']:.2f}  "
+            f"seconds={profile['seconds']:.3f}"
+        )
+    else:
+        lines.append(
+            f"subgraph query over {profile['database_size']} graphs"
+        )
+        header = (f"{'level':>5}  {'nodes':>6}  {'tested':>7}  "
+                  f"{'closure-':>9}  {'pseudo-':>8}  {'survive':>7}")
+        lines.append(header)
+        lines.append(f"{'':5}  {'':6}  {'':7}  {'pruned':>9}  "
+                     f"{'pruned':>8}  {'':7}")
+        for row in profile["levels"]:
+            lines.append(
+                f"{row['level']:>5}  {row['nodes']:>6}  "
+                f"{row['tested']:>7}  {row['pruned_by_closure']:>9}  "
+                f"{row['pruned_by_pseudo_iso']:>8}  "
+                f"{row['pseudo_survivors']:>7}"
+            )
+        pruning = profile["pruning"]
+        lines.append(
+            f"pruning: {pruning['histogram_tests']} histogram tests "
+            f"-> {pruning['pruned_by_closure']} closure-pruned; "
+            f"{pruning['pseudo_iso_tests']} pseudo-iso tests "
+            f"-> {pruning['pruned_by_pseudo_iso']} pruned; "
+            f"{pruning['candidates']} candidates"
+        )
+        verification = profile["verification"]
+        lines.append(
+            f"verification: {verification['isomorphism_tests']} iso tests "
+            f"-> {verification['answers']} answers "
+            f"(accuracy {verification['accuracy']:.0%}) "
+            f"in {verification['verify_seconds']:.3f}s"
+        )
+        lines.append(
+            f"access ratio gamma={profile['access_ratio']:.2f}  "
+            f"search={profile['search_seconds']:.3f}s"
+        )
+    page_io = profile.get("page_io")
+    if page_io:
+        lines.append(
+            f"page I/O: {page_io['hits']} hits / {page_io['misses']} misses "
+            f"(hit ratio {page_io['hit_ratio']:.0%})"
+        )
+    return "\n".join(lines)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: run one query and print its descent profile."""
+    query = _load_query_graph(args.query)
+    index = _open_index(args.tree, args.cache_pages)
+    try:
+        if args.knn:
+            if isinstance(index, DiskCTree):
+                answers, stats = index.knn_query(query, args.k)
+            else:
+                answers, stats = knn_query(index, query, args.k)
+        elif isinstance(index, DiskCTree):
+            answers, stats = index.subgraph_query(
+                query, level=args.level, verify=not args.no_verify
+            )
+        else:
+            answers, stats = subgraph_query(
+                index, query, level=args.level, verify=not args.no_verify
+            )
+    finally:
+        if isinstance(index, DiskCTree):
+            index.close()
+    profile = stats.explain()
+    if args.json:
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(_format_explain(profile))
+    return 0
+
+
+def _format_metrics_table(payload: dict) -> str:
+    """Sorted ``metric  type  value`` table over a registry snapshot.
+
+    Counters and gauges show their value; histograms show
+    ``count/sum/mean`` so the table stays one greppable line per metric.
+    """
+    if not payload:
+        return "(no metrics changed)"
+    width = max(len(name) for name in payload)
+    lines = [f"{'metric':<{width}}  {'type':<9}  value"]
+    for name in sorted(payload):
+        entry = payload[name]
+        kind = entry.get("type", "?") if isinstance(entry, dict) else "?"
+        if kind == "histogram":
+            rendered = (f"count={entry['count']} sum={entry['sum']:g} "
+                        f"mean={entry['mean']:g}")
+        elif isinstance(entry, dict):
+            rendered = f"{entry.get('value', entry):g}" \
+                if isinstance(entry.get("value"), float) \
+                else str(entry.get("value"))
+        else:
+            rendered = str(entry)
+        lines.append(f"{name:<{width}}  {kind:<9}  {rendered}")
+    return "\n".join(lines)
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -327,8 +476,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     if args.output:
         Path(args.output).write_text(text + "\n", encoding="utf-8")
         print(f"wrote {len(payload)} metrics to {args.output}")
-    else:
+    elif args.json:
         print(text)
+    else:
+        print(_format_metrics_table(payload))
     return 0
 
 
@@ -355,6 +506,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         client_cap=args.client_cap,
         stream_threshold=args.stream_threshold,
         healthz_ttl=args.healthz_ttl,
+        slow_query_seconds=args.slow_query_seconds,
+        slow_query_rate=args.slow_query_rate,
+        slow_query_path=args.slow_query_log,
     )
     server = QueryServer(index, config)
     try:
@@ -503,16 +657,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
-        help="run a subgraph query with span tracing (JSONL output)",
+        help="run a subgraph query with span tracing "
+             "(JSONL or Chrome trace-event output)",
     )
     p.add_argument("-t", "--tree",
                    help="*.json snapshot or *.ctp disk index")
     p.add_argument("-q", "--query",
                    help="query graph as JSON, or @file.json")
     p.add_argument("-i", "--input",
-                   help="summarize an existing trace file instead of querying")
+                   help="summarize (or, with --format=chrome, convert) an "
+                        "existing JSONL trace instead of querying")
     p.add_argument("-o", "--out", default="trace.jsonl",
                    help="trace output path (default: trace.jsonl)")
+    p.add_argument("--format", choices=["jsonl", "chrome"], default="jsonl",
+                   help="output format: span JSONL (default) or a Chrome "
+                        "trace-event JSON loadable in chrome://tracing "
+                        "and Perfetto")
     p.add_argument("--summary", action="store_true",
                    help="print the flame-style per-phase summary")
     p.add_argument("--level", type=_parse_level, default=1)
@@ -521,8 +681,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
+        "explain",
+        help="run one query and print its EXPLAIN profile "
+             "(per-level pruning, verification cost, page I/O)",
+    )
+    p.add_argument("-t", "--tree", required=True,
+                   help="*.json snapshot or *.ctp disk index")
+    p.add_argument("-q", "--query", required=True,
+                   help="query graph as JSON, or @file.json")
+    p.add_argument("--knn", action="store_true",
+                   help="profile a k-NN query instead of a subgraph query")
+    p.add_argument("-k", type=int, default=5,
+                   help="neighbors for --knn (default 5)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw profile as JSON")
+    p.add_argument("--level", type=_parse_level, default=1)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
         "metrics",
-        help="run a subgraph query and dump the metrics delta as JSON",
+        help="run a subgraph query and show the metrics delta",
     )
     p.add_argument("-t", "--tree", required=True,
                    help="*.json snapshot or *.ctp disk index")
@@ -530,6 +710,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query graph as JSON, or @file.json")
     p.add_argument("-o", "--output",
                    help="write JSON here instead of stdout")
+    p.add_argument("--json", action="store_true",
+                   help="print JSON instead of the sorted table")
     p.add_argument("--cumulative", action="store_true",
                    help="dump the full registry instead of the query delta")
     p.add_argument("--level", type=_parse_level, default=1)
@@ -560,6 +742,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="answer count that forces NDJSON streaming")
     p.add_argument("--healthz-ttl", type=float, default=5.0,
                    help="seconds a /healthz probe result is cached")
+    p.add_argument("--slow-query-log",
+                   help="append requests over the slow-query threshold "
+                        "to this NDJSON file")
+    p.add_argument("--slow-query-seconds", type=float, default=1.0,
+                   help="latency threshold for the slow-query log "
+                        "(default 1.0s)")
+    p.add_argument("--slow-query-rate", type=float, default=1.0,
+                   help="fraction of slow queries logged, 0..1 "
+                        "(default 1.0 = all)")
     p.add_argument("--cache-pages", type=int, default=128)
     p.set_defaults(func=cmd_serve)
 

@@ -619,7 +619,8 @@ class DiskCTree:
                         survivors_y += 1
                         stats.pseudo_survivors += 1
                         candidates.append((graph_id, graph_record))
-                stats.record_level(depth, survivors_x, survivors_y)
+                stats.record_level(depth, survivors_x, survivors_y,
+                                   tested=len(record.get("graphs", [])))
                 sp.set(leaf=True, x=survivors_x, y=survivors_y)
                 return
             descend = []
@@ -636,7 +637,8 @@ class DiskCTree:
                     survivors_y += 1
                     stats.pseudo_survivors += 1
                     descend.append(child_record)
-            stats.record_level(depth, survivors_x, survivors_y)
+            stats.record_level(depth, survivors_x, survivors_y,
+                               tested=len(record.get("children", [])))
             sp.set(leaf=False, x=survivors_x, y=survivors_y)
             for child_record in descend:
                 self._visit(

@@ -74,7 +74,8 @@ def _worker_init(index: Optional[Index], disk_path, cache_pages: int) -> None:
     an independent read-only handle on the shared page file."""
     global _WORKER_INDEX
     # An inherited tracing sink would interleave span writes from every
-    # worker into the parent's file; spans stay a parent-process concern.
+    # worker into the parent's file; workers instead capture spans into
+    # a scratch tracer per traced task and ship them home (_worker_run).
     trace.disable()
     if disk_path is not None:
         _WORKER_INDEX = DiskCTree.open(
@@ -100,14 +101,31 @@ def _execute(index: Index, kind: str, query: Graph, params: tuple):
 
 def _worker_run(task):
     """Execute one deduplicated query in a worker; returns the result
-    plus the registry delta it caused and its busy time."""
-    task_id, kind, query, params = task
+    plus the registry delta it caused, its busy time, and — when the
+    parent shipped a trace context — the span records it produced.
+
+    Tracing is disabled in workers (see :func:`_worker_init`), so for a
+    traced batch the worker records into a scratch tracer
+    (:func:`repro.obs.trace.capture`) under an ``engine.task`` root and
+    ships the serialized records home with the result; the parent
+    splices them into its own trace via
+    :func:`~repro.obs.trace.fold_worker_records` — exactly how worker
+    metrics ride home as registry deltas.
+    """
+    task_id, kind, query, params, ctx = task
     registry = global_registry()
     before = registry.snapshot()
+    spans: list = []
     start = time.perf_counter()
-    answers, stats = _execute(_WORKER_INDEX, kind, query, params)
+    if ctx is not None:
+        with trace.capture() as spans:
+            with trace.span("engine.task", task_id=task_id, kind=kind,
+                            pid=os.getpid()):
+                answers, stats = _execute(_WORKER_INDEX, kind, query, params)
+    else:
+        answers, stats = _execute(_WORKER_INDEX, kind, query, params)
     busy = time.perf_counter() - start
-    return (task_id, answers, stats, registry.diff(before), busy)
+    return (task_id, answers, stats, registry.diff(before), busy, spans)
 
 
 def _structure_key(graph: Graph) -> tuple:
@@ -366,8 +384,11 @@ class QueryEngine:
                 else:
                     pending[key] = (query, [pos])
 
+            # Exported under the engine.batch span: worker-side spans
+            # re-parent here, keeping one coherent tree per request.
+            ctx = trace.export_context()
             tasks = [
-                (task_id, kind, query, params)
+                (task_id, kind, query, params, ctx)
                 for task_id, (query, _) in enumerate(pending.values())
             ]
             parallel = (effective > 1 and self._fork_ok and len(tasks) > 1)
@@ -399,27 +420,33 @@ class QueryEngine:
         single task)."""
         executed = {}
         busy = 0.0
-        for task_id, kind, query, params in tasks:
+        for task_id, kind, query, params, _ctx in tasks:
             start = time.perf_counter()
-            executed[task_id] = _execute(self._index, kind, query, params)
+            with trace.span("engine.task", task_id=task_id, kind=kind,
+                            pid=os.getpid()):
+                executed[task_id] = _execute(self._index, kind, query,
+                                             params)
             busy += time.perf_counter() - start
         return executed, busy
 
     def _run_pool(self, tasks, workers, registry):
         """Fan tasks out to the persistent worker pool; merge each
-        worker's metrics delta so totals match a serial run."""
+        worker's metrics delta (and fold its shipped span records into
+        the active trace) so totals and traces match a serial run."""
         pool = self._ensure_pool(workers)
         chunksize = max(1, len(tasks) // (workers * 4))
         depth = registry.gauge("engine.queue_depth")
         depth.set(len(tasks))
+        ctx = tasks[0][4] if tasks else None
         executed = {}
         busy = 0.0
         try:
-            for task_id, answers, stats, delta, task_busy in \
+            for task_id, answers, stats, delta, task_busy, spans in \
                     pool.imap_unordered(_worker_run, tasks,
                                         chunksize=chunksize):
                 executed[task_id] = (answers, stats)
                 registry.merge(delta)
+                trace.fold_worker_records(spans, ctx)
                 busy += task_busy
                 depth.dec()
         finally:

@@ -120,6 +120,7 @@ class QueryStats:
         x_by_level: Optional[list[int]] = None,
         y_by_level: Optional[list[int]] = None,
         nodes_by_level: Optional[list[int]] = None,
+        tested_by_level: Optional[list[int]] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -139,18 +140,26 @@ class QueryStats:
         self.y_by_level: list[int] = list(y_by_level or [])
         #: per-depth count of expanded nodes (to average x, y per node)
         self.nodes_by_level: list[int] = list(nodes_by_level or [])
+        #: per-depth sums: children histogram-screened at i (the EXPLAIN
+        #: denominator: tested - x = pruned by the closure histogram)
+        self.tested_by_level: list[int] = list(tested_by_level or [])
 
     # ------------------------------------------------------------------
-    def record_level(self, depth: int, x: int, y: int, nodes: int = 1) -> None:
-        """Record ``nodes`` expanded node(s) at ``depth`` contributing
-        ``x`` histogram survivors and ``y`` pseudo survivors in total."""
+    def record_level(self, depth: int, x: int, y: int, nodes: int = 1,
+                     tested: int = 0) -> None:
+        """Record ``nodes`` expanded node(s) at ``depth`` that screened
+        ``tested`` children, of which ``x`` survived the histogram test
+        and ``y`` survived the pseudo-iso test, in total."""
         while len(self.x_by_level) <= depth:
             self.x_by_level.append(0)
             self.y_by_level.append(0)
             self.nodes_by_level.append(0)
+        while len(self.tested_by_level) <= depth:
+            self.tested_by_level.append(0)
         self.x_by_level[depth] += x
         self.y_by_level[depth] += y
         self.nodes_by_level[depth] += nodes
+        self.tested_by_level[depth] += tested
 
     @property
     def access_ratio(self) -> float:
@@ -186,6 +195,8 @@ class QueryStats:
                 other.x_by_level[depth],
                 other.y_by_level[depth],
                 nodes=other.nodes_by_level[depth],
+                tested=(other.tested_by_level[depth]
+                        if depth < len(other.tested_by_level) else 0),
             )
 
     # ------------------------------------------------------------------
@@ -199,6 +210,7 @@ class QueryStats:
         out["x_by_level"] = list(self.x_by_level)
         out["y_by_level"] = list(self.y_by_level)
         out["nodes_by_level"] = list(self.nodes_by_level)
+        out["tested_by_level"] = list(self.tested_by_level)
         return out
 
     def deterministic_dict(self) -> dict:
@@ -219,8 +231,78 @@ class QueryStats:
             x_by_level=self.x_by_level,
             y_by_level=self.y_by_level,
             nodes_by_level=self.nodes_by_level,
+            tested_by_level=self.tested_by_level,
         )
         return type(self)(**kwargs)
+
+    def explain(self) -> dict:
+        """The per-query EXPLAIN profile: the descent as per-level
+        pruning counts plus phase summaries.
+
+        Each entry of ``levels`` reports, for one tree depth, how many
+        nodes were expanded, how many children were screened
+        (``tested``), how many survived the closure-histogram test
+        (``histogram_survivors``, the paper's ``x(i)``) and the
+        pseudo-iso test (``pseudo_survivors``, ``y(i)``), and the two
+        pruning deltas.  Sums across levels equal the flat counters
+        (``histogram_tests``, ``pseudo_tests``, ``pseudo_survivors``)
+        by construction, so an EXPLAIN payload is always consistent
+        with the ``ctree.query.*`` metrics.  Disk-backed stats add a
+        ``page_io`` block.
+        """
+        levels = []
+        for depth in range(len(self.nodes_by_level)):
+            tested = (self.tested_by_level[depth]
+                      if depth < len(self.tested_by_level) else 0)
+            x = self.x_by_level[depth]
+            y = self.y_by_level[depth]
+            levels.append({
+                "level": depth,
+                "nodes": self.nodes_by_level[depth],
+                "tested": tested,
+                "histogram_survivors": x,
+                "pseudo_survivors": y,
+                "pruned_by_closure": tested - x,
+                "pruned_by_pseudo_iso": x - y,
+            })
+        out = {
+            "kind": "subgraph",
+            "database_size": self.database_size,
+            "levels": levels,
+            "pruning": {
+                "histogram_tests": self.histogram_tests,
+                "pruned_by_closure": (self.histogram_tests
+                                      - self.pseudo_tests),
+                "pseudo_iso_tests": self.pseudo_tests,
+                "pruned_by_pseudo_iso": (self.pseudo_tests
+                                         - self.pseudo_survivors),
+                "candidates": self.candidates,
+            },
+            "verification": {
+                "isomorphism_tests": self.isomorphism_tests,
+                "answers": self.answers,
+                "accuracy": self.accuracy,
+                "verify_seconds": self.verify_seconds,
+            },
+            "access_ratio": self.access_ratio,
+            "search_seconds": self.search_seconds,
+        }
+        self._add_page_io(out)
+        return out
+
+    def _add_page_io(self, out: dict) -> None:
+        """Attach a ``page_io`` block when this stats object tracks
+        buffer-pool counters (the disk-backed subclasses do)."""
+        if "page_hits" not in self._COUNTER_FIELDS:
+            return
+        hits = self.page_hits
+        misses = self.page_misses
+        total = hits + misses
+        out["page_io"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": (hits / total) if total else 1.0,
+        }
 
     def publish(self, registry: Optional[MetricsRegistry] = None) -> None:
         """Fold this query's counters into ``registry`` (default: the
@@ -323,8 +405,33 @@ class KnnStats:
         return type(self)(**{name: getattr(self, name)
                              for name in self._COUNTER_FIELDS})
 
+    def explain(self) -> dict:
+        """The per-query EXPLAIN profile for a K-NN/range query.
+
+        K-NN descends a priority queue rather than level-synchronous
+        refinement, so there is no per-level series; the profile
+        reports the expansion/scoring/bound-pruning counters and, for
+        disk-backed stats, a ``page_io`` block.
+        """
+        out = {
+            "kind": "knn",
+            "database_size": self.database_size,
+            "expansion": {
+                "nodes_expanded": self.nodes_expanded,
+                "children_scored": self.children_scored,
+                "graphs_scored": self.graphs_scored,
+                "pruned_by_bound": self.pruned_by_bound,
+                "results": self.results,
+            },
+            "access_ratio": self.access_ratio,
+            "seconds": self.seconds,
+        }
+        self._add_page_io(out)
+        return out
+
     deterministic_dict = QueryStats.deterministic_dict
     publish = QueryStats.publish
+    _add_page_io = QueryStats._add_page_io
 
     def __repr__(self) -> str:
         parts = ", ".join(

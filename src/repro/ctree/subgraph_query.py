@@ -148,7 +148,8 @@ def _visit(
                 candidates.append((child.graph_id, child.graph, domains))
             else:
                 descend.append(child)
-        stats.record_level(depth, survivors_x, survivors_y)
+        stats.record_level(depth, survivors_x, survivors_y,
+                           tested=len(node.children))
         sp.set(fanout=len(node.children), x=survivors_x, y=survivors_y)
         for child_node in descend:
             _visit(child_node, depth + 1, query, query_hist, qc, level,

@@ -26,6 +26,9 @@ from repro.obs.trace import (
     ListSink,
     NullSink,
     Span,
+    chrome_trace,
+    export_context,
+    fold_worker_records,
     format_trace_summary,
     phase_totals,
     read_jsonl,
@@ -42,7 +45,10 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "Span",
+    "chrome_trace",
     "diff_snapshots",
+    "export_context",
+    "fold_worker_records",
     "format_trace_summary",
     "global_registry",
     "phase_totals",

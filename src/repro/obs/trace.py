@@ -21,6 +21,15 @@ reconstructs the tree from ``parent_id`` and renders a flame-style text
 report.  Sinks are pluggable: :class:`ListSink` (in-memory),
 :class:`JsonlSink` (one JSON object per line), :class:`NullSink`.
 
+Traces can cross task and process boundaries: :func:`export_context`
+serializes a handle on the current span, :func:`attach` re-parents
+spans opened in another task/thread under that handle, and worker
+processes record into a scratch tracer via :func:`capture` and ship the
+records home, where :func:`fold_worker_records` splices them into the
+parent trace (the span-record analogue of ``MetricsRegistry.merge``).
+:func:`chrome_trace` converts any record list to the Chrome trace-event
+format that ``chrome://tracing`` / Perfetto load directly.
+
 Usage::
 
     from repro.obs import trace
@@ -33,6 +42,7 @@ Usage::
 
 from __future__ import annotations
 
+import itertools
 import json
 import time
 from contextlib import contextmanager
@@ -51,10 +61,16 @@ __all__ = [
     "tracing",
     "span",
     "current_span",
+    "export_context",
+    "attach",
+    "capture",
+    "fold_worker_records",
     "read_jsonl",
+    "ancestry",
     "summarize",
     "phase_totals",
     "format_trace_summary",
+    "chrome_trace",
 ]
 
 _current: ContextVar[Optional["Span"]] = ContextVar("repro_obs_span",
@@ -141,11 +157,9 @@ class Span:
     def __enter__(self) -> "Span":
         tracer = _TRACER
         parent = _current.get()
-        tracer.span_count += 1
-        self.span_id = tracer.span_count
+        self.span_id = next(tracer.span_ids)
         if parent is None:
-            tracer.trace_count += 1
-            self.trace_id = tracer.trace_count
+            self.trace_id = next(tracer.trace_ids)
             self.depth = 0
         else:
             self.trace_id = parent.trace_id
@@ -192,13 +206,16 @@ _NOOP = _NoopSpan()
 
 
 class _Tracer:
-    __slots__ = ("enabled", "sink", "span_count", "trace_count")
+    # Ids come from ``itertools.count`` so concurrent allocation from the
+    # event-loop thread and executor threads stays race-free (``next()``
+    # on a count is atomic under CPython).
+    __slots__ = ("enabled", "sink", "span_ids", "trace_ids")
 
     def __init__(self) -> None:
         self.enabled = False
         self.sink: object = NullSink()
-        self.span_count = 0
-        self.trace_count = 0
+        self.span_ids = itertools.count(1)
+        self.trace_ids = itertools.count(1)
 
 
 _TRACER = _Tracer()
@@ -254,6 +271,131 @@ def tracing(sink=None):
 
 
 # ----------------------------------------------------------------------
+# Cross-task / cross-process propagation
+# ----------------------------------------------------------------------
+def export_context() -> Optional[dict]:
+    """Serializable handle on the current span for remote re-parenting.
+
+    Returns ``{"trace_id", "span_id", "depth"}`` of the innermost open
+    span, or ``None`` when tracing is disabled or no span is open.  The
+    dict is plain JSON/pickle data, safe to thread through queues, task
+    payloads, and process boundaries; hand it to :func:`attach` (same
+    process, other task/thread) or :func:`fold_worker_records` (records
+    shipped back from a worker process).
+    """
+    if not _TRACER.enabled:
+        return None
+    cur = _current.get()
+    if cur is None:
+        return None
+    return {"trace_id": cur.trace_id, "span_id": cur.span_id,
+            "depth": cur.depth}
+
+
+@contextmanager
+def attach(ctx: Optional[dict]):
+    """Parent spans opened in this block under an exported context.
+
+    ``contextvars`` do not propagate into
+    ``loop.run_in_executor`` / raw threads, so a callee running there
+    would start a fresh trace.  Wrapping its body in
+    ``with trace.attach(ctx):`` — where ``ctx`` came from
+    :func:`export_context` at submission time — makes every span inside
+    a child of the submitting span instead.  No-op when tracing is
+    disabled or ``ctx`` is ``None``; the ghost parent itself is never
+    emitted.
+    """
+    if not _TRACER.enabled or not ctx:
+        yield
+        return
+    ghost = Span("<attached>", {})
+    ghost.trace_id = ctx["trace_id"]
+    ghost.span_id = ctx["span_id"]
+    ghost.depth = int(ctx.get("depth", 0))
+    token = _current.set(ghost)
+    try:
+        yield
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def capture():
+    """Record spans into a scratch tracer; yields the record list.
+
+    For worker processes: tracing is disabled at worker init (the
+    parent's sink must not be written from two processes), but a traced
+    batch still wants the worker-side spans.  ``capture()`` enables
+    tracing into a private :class:`ListSink` with a fresh id space,
+    yields the live record list, and restores the previous tracer state
+    on exit — the caller ships the records home where
+    :func:`fold_worker_records` splices them into the real trace.
+    """
+    tracer = _TRACER
+    saved = (tracer.enabled, tracer.sink, tracer.span_ids,
+             tracer.trace_ids)
+    sink = ListSink()
+    tracer.sink = sink
+    tracer.span_ids = itertools.count(1)
+    tracer.trace_ids = itertools.count(1)
+    tracer.enabled = True
+    token = _current.set(None)
+    try:
+        yield sink.records
+    finally:
+        _current.reset(token)
+        (tracer.enabled, tracer.sink, tracer.span_ids,
+         tracer.trace_ids) = saved
+
+
+def fold_worker_records(records: Iterable[dict],
+                        ctx: Optional[dict]) -> int:
+    """Splice worker-shipped span records into the active trace.
+
+    The span-record analogue of ``MetricsRegistry.merge``: ``records``
+    were captured in a worker's private id space (see :func:`capture`);
+    this re-allocates their span ids from the parent tracer, rewrites
+    ``trace_id``/``parent_id``/``depth`` so the worker's root spans hang
+    under ``ctx`` (an :func:`export_context` dict), and emits them to
+    the active sink.  Torn or partial records — non-dicts, or records
+    missing ``span_id``/``name`` or numeric ``start``/``duration`` —
+    are dropped; records whose parent did not survive are re-attached
+    to ``ctx`` so no surviving span is orphaned.  Returns the number of
+    records folded (0 when tracing is disabled or ``ctx`` is falsy).
+    """
+    tracer = _TRACER
+    if not tracer.enabled or not ctx:
+        return 0
+    valid = []
+    for rec in records or ():
+        if not isinstance(rec, dict):
+            continue
+        if rec.get("span_id") is None or not rec.get("name"):
+            continue
+        if not isinstance(rec.get("start"), (int, float)):
+            continue
+        if not isinstance(rec.get("duration"), (int, float)):
+            continue
+        valid.append(rec)
+    id_map = {rec["span_id"]: next(tracer.span_ids) for rec in valid}
+    base_depth = int(ctx.get("depth", 0)) + 1
+    for rec in valid:
+        parent = rec.get("parent_id")
+        attrs = rec.get("attrs")
+        tracer.sink.emit({
+            "trace_id": ctx["trace_id"],
+            "span_id": id_map[rec["span_id"]],
+            "parent_id": id_map.get(parent, ctx["span_id"]),
+            "name": rec["name"],
+            "start": rec["start"],
+            "duration": rec["duration"],
+            "depth": base_depth + int(rec.get("depth", 0) or 0),
+            "attrs": dict(attrs) if isinstance(attrs, dict) else {},
+        })
+    return len(valid)
+
+
+# ----------------------------------------------------------------------
 # Reading and summarizing traces
 # ----------------------------------------------------------------------
 def read_jsonl(path: Union[str, Path]) -> list[dict]:
@@ -270,6 +412,30 @@ def read_jsonl(path: Union[str, Path]) -> list[dict]:
 def _parent_map(records: Iterable[dict]) -> dict:
     """(trace_id, span_id) -> record, for ancestry walks."""
     return {(r["trace_id"], r["span_id"]): r for r in records}
+
+
+def ancestry(rec: dict, records: Iterable[dict]) -> list[dict]:
+    """Ancestor records of ``rec``, nearest (parent) first.
+
+    Walks ``parent_id`` links within ``rec``'s trace.  Stops at the
+    root, at a missing parent (torn trace), or on a cycle (corrupt
+    trace) — in all cases returning the ancestors actually reachable.
+    """
+    by_id = _parent_map(records)
+    out: list[dict] = []
+    seen: set = set()
+    cur = rec
+    while cur.get("parent_id") is not None:
+        key = (cur["trace_id"], cur["parent_id"])
+        if key in seen:
+            break
+        seen.add(key)
+        parent = by_id.get(key)
+        if parent is None:
+            break
+        out.append(parent)
+        cur = parent
+    return out
 
 
 def _has_same_name_ancestor(rec: dict, by_id: dict) -> bool:
@@ -397,3 +563,36 @@ def format_trace_summary(records: Iterable[dict]) -> str:
     for root in roots:
         walk(root)
     return "\n".join(lines)
+
+
+def chrome_trace(records: Iterable[dict]) -> dict:
+    """Convert span records to Chrome trace-event format.
+
+    Returns a JSON-able ``{"traceEvents": [...], "displayTimeUnit"}``
+    dict loadable by ``chrome://tracing`` and Perfetto.  Each span
+    becomes one complete (``"ph": "X"``) event with microsecond
+    ``ts``/``dur``; the trace id is mapped to the ``pid`` lane and the
+    span depth to ``tid``, so each request tree renders as its own
+    process track with one row per nesting level.  Span/parent ids and
+    attributes survive in ``args``.
+    """
+    events = []
+    for rec in records:
+        attrs = rec.get("attrs")
+        args = dict(attrs) if isinstance(attrs, dict) else {}
+        args["span_id"] = rec.get("span_id")
+        if rec.get("parent_id") is not None:
+            args["parent_id"] = rec["parent_id"]
+        name = rec.get("name") or "<span>"
+        events.append({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "X",
+            "ts": float(rec.get("start", 0.0)) * 1e6,
+            "dur": float(rec.get("duration", 0.0)) * 1e6,
+            "pid": rec.get("trace_id", 0),
+            "tid": rec.get("depth", 0),
+            "args": args,
+        })
+    events.sort(key=lambda ev: ev["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -21,7 +21,14 @@ Examples
 >>> # QueryServer(tree, ServerConfig(port=8744)).serve_forever()
 """
 
-from repro.server.app import QueryServer, ServerConfig, ServerThread
+from repro.server.app import (
+    QueryServer,
+    ServerConfig,
+    ServerThread,
+    SlowQueryLog,
+    new_request_id,
+    sanitize_request_id,
+)
 from repro.server.coalescer import BackpressureError, BatchCoalescer
 from repro.server.protocol import (
     ChunkedNdjsonWriter,
@@ -38,4 +45,7 @@ __all__ = [
     "QueryServer",
     "ServerConfig",
     "ServerThread",
+    "SlowQueryLog",
+    "new_request_id",
+    "sanitize_request_id",
 ]

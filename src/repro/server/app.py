@@ -16,8 +16,16 @@
   :meth:`DiskCTree.fsck <repro.ctree.diskindex.DiskCTree.fsck>` probe
   for disk-backed indexes (TTL-cached);
 - every error is a typed JSON envelope
-  ``{"error": {"code": ..., "message": ...}}`` with the matching HTTP
-  status (400/404/405/413/429/431/500/501/503).
+  ``{"request_id": ..., "error": {"code": ..., "message": ...}}`` with
+  the matching HTTP status (400/404/405/413/429/431/500/501/503);
+- every request gets a correlation id (honoring an inbound
+  ``X-Request-Id`` header) echoed in the response envelope and the
+  ``X-Request-Id`` response header, a ``server.request`` span when
+  tracing is enabled (see ``docs/OBSERVABILITY.md``), and a
+  :class:`SlowQueryLog` entry when it exceeds the configured threshold;
+- ``?explain=1`` on ``/query``/``/knn`` embeds the per-level EXPLAIN
+  profile (:meth:`QueryStats.explain
+  <repro.ctree.stats.QueryStats.explain>`) in the response.
 
 The full endpoint reference, streaming format, error-code table and ops
 runbook live in ``docs/SERVING.md``.
@@ -40,15 +48,19 @@ or in-process for tests and benchmarks::
 from __future__ import annotations
 
 import asyncio
+import json
+import re
 import threading
 import time
+import uuid
 from dataclasses import dataclass
-from typing import Optional
+from typing import IO, Optional
 
 from repro.ctree.diskindex import DiskCTree
 from repro.ctree.parallel import Index, QueryEngine
 from repro.exceptions import GraphError, ReproError
 from repro.graphs.graph import Graph
+from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.prometheus import CONTENT_TYPE as PROM_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
@@ -63,13 +75,34 @@ from repro.server.protocol import (
     send_response,
 )
 
-__all__ = ["QueryServer", "ServerConfig", "ServerThread"]
+__all__ = ["QueryServer", "ServerConfig", "ServerThread", "SlowQueryLog",
+           "new_request_id", "sanitize_request_id"]
 
 #: Valid K-NN mapping methods (mirrors the CLI's choices).
 _MAPPING_METHODS = ("nbm", "bipartite", "bipartite_unweighted")
 
 #: Request-latency histogram buckets (seconds).
 _LATENCY_BOUNDS = tuple(4.0 ** e for e in range(-8, 5))
+
+#: Inbound ``X-Request-Id`` values must match this to be honored.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char correlation id."""
+    return uuid.uuid4().hex[:16]
+
+
+def sanitize_request_id(value: Optional[str]) -> Optional[str]:
+    """``value`` if it is a safe inbound ``X-Request-Id``, else ``None``.
+
+    Accepts 1–64 characters of ``[A-Za-z0-9._-]`` — enough for UUIDs
+    and common tracing-header formats while keeping ids safe to echo
+    into headers, JSON envelopes, and NDJSON log lines.
+    """
+    if isinstance(value, str) and _REQUEST_ID_RE.match(value):
+        return value
+    return None
 
 
 @dataclass
@@ -105,6 +138,15 @@ class ServerConfig:
     #: Seconds a /healthz probe result stays cached (0 = probe every
     #: request).
     healthz_ttl: float = 5.0
+    #: Seconds a request may take before it counts as slow (the
+    #: ``server.slow_queries`` counter and the slow-query log).
+    slow_query_seconds: float = 1.0
+    #: Fraction of slow requests written to the log (deterministic
+    #: pacing: 1.0 logs every slow request, 0.5 every other, 0 none).
+    slow_query_rate: float = 1.0
+    #: NDJSON slow-query log path; ``None`` counts slow requests in
+    #: metrics but writes nothing.
+    slow_query_path: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -210,6 +252,66 @@ def _parse_mapping(payload: dict) -> str:
             f"got {method!r}"
         )
     return method
+
+
+# ----------------------------------------------------------------------
+# Slow-query logging
+# ----------------------------------------------------------------------
+class SlowQueryLog:
+    """A sampling slow-query log: NDJSON records keyed by request id.
+
+    Every request at or over ``threshold`` seconds bumps the
+    ``server.slow_queries`` counter; a deterministically paced ``rate``
+    fraction of those (1.0 = all, 0.5 = every other, 0 = none) is
+    appended to ``path`` as one JSON line —
+    ``{"request_id", "method", "path", "seconds", "threshold"}`` — and
+    counted by ``server.slow_queries_logged``.  With ``path=None`` only
+    the counters move.  Pacing is counter-based rather than random so
+    test runs and replayed workloads log identically.
+    """
+
+    def __init__(self, path: Optional[str], threshold: float,
+                 rate: float = 1.0,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.path = path
+        self.threshold = max(0.0, float(threshold))
+        self.rate = min(1.0, max(0.0, float(rate)))
+        self._registry = registry if registry is not None \
+            else global_registry()
+        self._slow = 0
+        self._logged = 0
+        self._fh: Optional[IO[str]] = None
+
+    def record(self, request_id: str, method: str, path: str,
+               seconds: float) -> bool:
+        """Account one finished request; returns True if it was logged."""
+        if seconds < self.threshold:
+            return False
+        self._slow += 1
+        self._registry.counter("server.slow_queries").inc()
+        # Log iff it keeps the logged/slow ratio at (or under) `rate`.
+        if self._slow * self.rate < self._logged + 1:
+            return False
+        self._logged += 1
+        self._registry.counter("server.slow_queries_logged").inc()
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps({
+                "request_id": request_id,
+                "method": method,
+                "path": path,
+                "seconds": seconds,
+                "threshold": self.threshold,
+            }, separators=(",", ":")) + "\n")
+            self._fh.flush()
+        return True
+
+    def close(self) -> None:
+        """Close the log file, if one was opened (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
 
 
 # ----------------------------------------------------------------------
@@ -355,6 +457,12 @@ class QueryServer:
         )
         self.health = HealthProbe(index, ttl=self.config.healthz_ttl,
                                   registry=self._registry)
+        self.slow_log = SlowQueryLog(
+            self.config.slow_query_path,
+            threshold=self.config.slow_query_seconds,
+            rate=self.config.slow_query_rate,
+            registry=self._registry,
+        )
         self.port: int = self.config.port
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
         self._connections: set[asyncio.Task] = set()
@@ -388,6 +496,7 @@ class QueryServer:
             await asyncio.gather(*self._connections,
                                  return_exceptions=True)
         await self.coalescer.stop()
+        self.slow_log.close()
 
     async def _serve_async(self, ready: Optional[threading.Event],
                            stop_event: asyncio.Event) -> None:
@@ -479,13 +588,22 @@ class QueryServer:
                     break
                 if request is None:
                     break
+                request.request_id = (
+                    sanitize_request_id(request.headers.get("x-request-id"))
+                    or new_request_id()
+                )
                 keep_alive = request.keep_alive
                 self._registry.counter("server.http.requests").inc()
                 start = time.perf_counter()
                 try:
-                    await self._route(request, writer, peer_id)
+                    with trace.span("server.request",
+                                    request_id=request.request_id,
+                                    method=request.method,
+                                    path=request.path):
+                        await self._route(request, writer, peer_id)
                 except ProtocolError as exc:
-                    await self._send_error(writer, exc, keep_alive)
+                    await self._send_error(writer, exc, keep_alive,
+                                           request_id=request.request_id)
                 except (ConnectionError, asyncio.CancelledError):
                     raise
                 except Exception as exc:  # noqa: BLE001 - typed 500
@@ -495,9 +613,14 @@ class QueryServer:
                                    "message": f"{type(exc).__name__}: "
                                               f"{exc}"}},
                         keep_alive=keep_alive,
+                        request_id=request.request_id,
                     )
                 finally:
-                    self._latency.observe(time.perf_counter() - start)
+                    elapsed = time.perf_counter() - start
+                    self._latency.observe(elapsed)
+                    self.slow_log.record(request.request_id,
+                                         request.method, request.path,
+                                         elapsed)
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.CancelledError):
@@ -515,16 +638,27 @@ class QueryServer:
         ).inc()
 
     async def _respond(self, writer, status: int, payload,
-                       keep_alive: bool) -> None:
+                       keep_alive: bool, request_id: str = "") -> None:
         self._count_status(status)
-        await send_json(writer, status, payload, keep_alive=keep_alive)
+        extra = None
+        if request_id:
+            payload = {"request_id": request_id, **payload}
+            extra = {"X-Request-Id": request_id}
+        await send_json(writer, status, payload, keep_alive=keep_alive,
+                        extra_headers=extra)
 
     async def _send_error(self, writer, exc: ProtocolError,
-                          keep_alive: bool) -> None:
+                          keep_alive: bool, request_id: str = "") -> None:
+        # Pre-app rejections (413/431/501 raised inside protocol.py)
+        # carry the inbound header when it was parsed; otherwise mint an
+        # id so even those envelopes are correlatable.
+        rid = (sanitize_request_id(getattr(exc, "request_id", None))
+               or request_id or new_request_id())
         await self._respond(
             writer, exc.status,
             {"error": {"code": exc.code, "message": str(exc)}},
             keep_alive=keep_alive,
+            request_id=rid,
         )
 
     async def _route(self, request: HTTPRequest,
@@ -567,7 +701,7 @@ class QueryServer:
             "index": index_info,
             "workers": self.engine.workers,
             "endpoints": ["/", "/healthz", "/metrics", "/query", "/knn"],
-        }, keep_alive=request.keep_alive)
+        }, keep_alive=request.keep_alive, request_id=request.request_id)
 
     async def _handle_healthz(self, request, writer, peer_id) -> None:
         healthy, detail = await self.health.check(None)
@@ -577,17 +711,27 @@ class QueryServer:
             **detail,
         }
         await self._respond(writer, 200 if healthy else 503, payload,
-                            keep_alive=request.keep_alive)
+                            keep_alive=request.keep_alive,
+                            request_id=request.request_id)
 
     async def _handle_metrics(self, request, writer, peer_id) -> None:
         body = render_prometheus(self._registry).encode("utf-8")
         self._count_status(200)
         await send_response(writer, 200, body,
                             content_type=PROM_CONTENT_TYPE,
-                            keep_alive=request.keep_alive)
+                            keep_alive=request.keep_alive,
+                            extra_headers={"X-Request-Id":
+                                           request.request_id})
 
     def _client_id(self, request: HTTPRequest, peer_id: str) -> str:
         return request.headers.get("x-client-id", peer_id)
+
+    @staticmethod
+    def _wants_explain(request: HTTPRequest) -> bool:
+        """True when the request asked for an EXPLAIN profile
+        (``?explain=1`` — also accepts ``true``/``yes``)."""
+        return (request.param("explain") or "").lower() in ("1", "true",
+                                                            "yes")
 
     async def _handle_query(self, request, writer, peer_id) -> None:
         payload = request.json()
@@ -596,20 +740,26 @@ class QueryServer:
         level = _parse_level(payload)
         verify = _parse_bool(payload, "verify", True)
         stream = _parse_bool(payload, "stream", False)
+        explain = self._wants_explain(request)
         answers, stats = await self._submit(
             "subgraph", (level, verify), query, request, peer_id
         )
         self._registry.counter("server.queries.subgraph").inc()
         stats_dict = stats.to_dict()
+        profile = stats.explain() if explain else None
         if stream or len(answers) >= self.config.stream_threshold:
             await self._stream(
                 writer, request, "subgraph", len(answers),
                 ({"graph_id": gid} for gid in answers), stats_dict,
+                explain=profile,
             )
             return
-        await self._respond(writer, 200,
-                            {"answers": answers, "stats": stats_dict},
-                            keep_alive=request.keep_alive)
+        body = {"answers": answers, "stats": stats_dict}
+        if profile is not None:
+            body["explain"] = profile
+        await self._respond(writer, 200, body,
+                            keep_alive=request.keep_alive,
+                            request_id=request.request_id)
 
     async def _handle_knn(self, request, writer, peer_id) -> None:
         payload = request.json()
@@ -618,46 +768,59 @@ class QueryServer:
         k = _parse_k(payload)
         mapping_method = _parse_mapping(payload)
         stream = _parse_bool(payload, "stream", False)
+        explain = self._wants_explain(request)
         results, stats = await self._submit(
             "knn", (k, mapping_method), query, request, peer_id
         )
         self._registry.counter("server.queries.knn").inc()
         stats_dict = stats.to_dict()
+        profile = stats.explain() if explain else None
         if stream or len(results) >= self.config.stream_threshold:
             await self._stream(
                 writer, request, "knn", len(results),
                 ({"graph_id": gid, "similarity": sim}
                  for gid, sim in results),
                 stats_dict,
+                explain=profile,
             )
             return
-        await self._respond(
-            writer, 200,
-            {"results": [[gid, sim] for gid, sim in results],
-             "stats": stats_dict},
-            keep_alive=request.keep_alive,
-        )
+        body = {"results": [[gid, sim] for gid, sim in results],
+                "stats": stats_dict}
+        if profile is not None:
+            body["explain"] = profile
+        await self._respond(writer, 200, body,
+                            keep_alive=request.keep_alive,
+                            request_id=request.request_id)
 
     async def _submit(self, kind, params, query, request, peer_id):
         try:
             return await self.coalescer.submit(
                 kind, params, query,
                 client=self._client_id(request, peer_id),
+                request_id=request.request_id,
             )
         except BackpressureError as exc:
             raise ProtocolError(429, "backpressure", str(exc)) from exc
 
     async def _stream(self, writer, request, kind: str, count: int,
-                      records, stats_dict: dict) -> None:
+                      records, stats_dict: dict,
+                      explain: Optional[dict] = None) -> None:
         """Chunked NDJSON: a head line, one line per answer, a stats
-        trailer (the format ``docs/SERVING.md`` documents)."""
+        trailer (the format ``docs/SERVING.md`` documents).  With
+        ``?explain=1`` the trailer also carries the EXPLAIN profile."""
         self._registry.counter("server.stream.responses").inc()
         self._count_status(200)
-        stream = ChunkedNdjsonWriter(writer,
-                                     keep_alive=request.keep_alive)
+        stream = ChunkedNdjsonWriter(
+            writer, keep_alive=request.keep_alive,
+            extra_headers={"X-Request-Id": request.request_id},
+        )
         await stream.start()
-        await stream.write({"kind": kind, "count": count})
+        await stream.write({"kind": kind, "count": count,
+                            "request_id": request.request_id})
         for record in records:
             await stream.write(record)
-        await stream.write({"stats": stats_dict})
+        trailer = {"stats": stats_dict}
+        if explain is not None:
+            trailer["explain"] = explain
+        await stream.write(trailer)
         await stream.finish()

@@ -43,6 +43,7 @@ from typing import Optional
 from repro.ctree.parallel import QueryEngine
 from repro.exceptions import ReproError
 from repro.graphs.graph import Graph
+from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry, global_registry
 
 __all__ = ["BackpressureError", "BatchCoalescer"]
@@ -70,6 +71,13 @@ class _Pending:
     params: tuple
     query: Graph
     future: asyncio.Future = field(compare=False)
+    #: Correlation id of the originating HTTP request (span attribute
+    #: and slow-query-log key; empty for direct callers).
+    request_id: str = ""
+    #: Trace context exported at admission (``trace.export_context()``)
+    #: — the engine call re-parents its spans here, bridging the
+    #: executor thread back to the request's ``server.request`` span.
+    trace_ctx: Optional[dict] = None
 
     @property
     def group(self) -> tuple:
@@ -168,12 +176,15 @@ class BatchCoalescer:
         return self._inflight.get(client, 0)
 
     async def submit(self, kind: str, params: tuple, query: Graph,
-                     client: str = "") -> tuple:
+                     client: str = "", request_id: str = "") -> tuple:
         """Admit one query and await its batched result.
 
         Returns the ``(answers, stats)`` pair of the underlying engine
         call, bit-identical to what the serial API would return.  Raises
         :class:`BackpressureError` when ``client`` is over its cap.
+        ``request_id`` tags the entry in spans and logs; the current
+        trace context (if any) is captured here so the batch executing
+        on the engine thread re-parents under the caller's span.
         """
         if self._queue is None:
             raise ReproError("coalescer not started")
@@ -184,7 +195,9 @@ class BatchCoalescer:
         self._inflight[client] = count + 1
         self._registry.gauge("server.inflight").inc()
         future = asyncio.get_running_loop().create_future()
-        item = _Pending(kind=kind, params=params, query=query, future=future)
+        item = _Pending(kind=kind, params=params, query=query, future=future,
+                        request_id=request_id,
+                        trace_ctx=trace.export_context())
         try:
             self._queue.put_nowait(item)
             return await future
@@ -250,14 +263,28 @@ class BatchCoalescer:
             "server.coalesce.batch_size", bounds=_BATCH_SIZE_BOUNDS
         ).observe(len(batch))
 
+        # contextvars do not cross run_in_executor: re-attach the trace
+        # context explicitly.  A coalesced batch has one span but many
+        # originating requests — it parents under the *first* member's
+        # request span and records every member's request id.
+        batch_ctx = next(
+            (item.trace_ctx for item in batch if item.trace_ctx is not None),
+            None,
+        )
+        request_ids = [item.request_id for item in batch if item.request_id]
+
         def call():
-            if kind == "subgraph":
-                level, verify = params
-                return self.engine.query_many(queries, level=level,
-                                              verify=verify)
-            k, mapping_method = params
-            return self.engine.knn_many(queries, k,
-                                        mapping_method=mapping_method)
+            with trace.attach(batch_ctx), \
+                    trace.span("coalescer.batch", kind=kind,
+                               queries=len(batch),
+                               request_ids=request_ids):
+                if kind == "subgraph":
+                    level, verify = params
+                    return self.engine.query_many(queries, level=level,
+                                                  verify=verify)
+                k, mapping_method = params
+                return self.engine.knn_many(queries, k,
+                                            mapping_method=mapping_method)
 
         loop = asyncio.get_running_loop()
         try:

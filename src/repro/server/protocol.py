@@ -83,6 +83,11 @@ class ProtocolError(ReproError):
     machine-readable ``code`` for the JSON error envelope
     (``{"error": {"code": ..., "message": ...}}``).
 
+    ``request_id`` carries the client's ``X-Request-Id`` when the error
+    was raised after the headers were parsed, so even 413/501 rejections
+    produced below the app layer echo the id the client sent; ``None``
+    means the app layer should mint a fresh id for the error envelope.
+
     Examples
     --------
     >>> err = ProtocolError(413, "payload_too_large", "body exceeds cap")
@@ -90,10 +95,12 @@ class ProtocolError(ReproError):
     (413, 'payload_too_large')
     """
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(self, status: int, code: str, message: str,
+                 request_id: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
+        self.request_id = request_id
 
 
 @dataclass
@@ -110,6 +117,9 @@ class HTTPRequest:
     params: dict[str, list[str]] = field(default_factory=dict)
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Correlation id assigned by the app layer (honoring an inbound
+    #: ``X-Request-Id`` header) and echoed in every response envelope.
+    request_id: str = ""
 
     @property
     def keep_alive(self) -> bool:
@@ -188,10 +198,15 @@ async def read_request(
         value = value.strip()
         headers[key] = f"{headers[key]},{value}" if key in headers else value
 
+    # Headers are parsed from here on: rejections below carry the
+    # client's correlation id so even pre-app errors echo it.
+    inbound_id = headers.get("x-request-id")
+
     if "transfer-encoding" in headers:
         raise ProtocolError(
             501, "unsupported_transfer_encoding",
             "chunked request bodies are not supported; send Content-Length",
+            request_id=inbound_id,
         )
 
     body = b""
@@ -205,19 +220,22 @@ async def read_request(
             raise ProtocolError(
                 400, "bad_request",
                 f"malformed Content-Length: {length_header!r}",
+                request_id=inbound_id,
             )
         if length > max_body_bytes:
             raise ProtocolError(
                 413, "payload_too_large",
                 f"request body of {length} bytes exceeds the "
                 f"{max_body_bytes}-byte cap",
+                request_id=inbound_id,
             )
         if length:
             try:
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError as exc:
                 raise ProtocolError(
-                    400, "bad_request", "connection closed mid-body"
+                    400, "bad_request", "connection closed mid-body",
+                    request_id=inbound_id,
                 ) from exc
 
     split = urlsplit(target)
@@ -231,7 +249,8 @@ async def read_request(
 
 
 def _head(status: int, content_type: str, length: Optional[int],
-          keep_alive: bool, chunked: bool = False) -> bytes:
+          keep_alive: bool, chunked: bool = False,
+          extra_headers: Optional[dict[str, str]] = None) -> bytes:
     reason = REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
@@ -244,6 +263,8 @@ def _head(status: int, content_type: str, length: Optional[int],
         lines.append(f"Content-Length: {length or 0}")
     if status == 429:
         lines.append("Retry-After: 1")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
@@ -253,9 +274,14 @@ async def send_response(
     body: bytes,
     content_type: str = "application/json",
     keep_alive: bool = True,
+    extra_headers: Optional[dict[str, str]] = None,
 ) -> None:
     """Write one fixed-length response and drain the transport."""
-    writer.write(_head(status, content_type, len(body), keep_alive) + body)
+    writer.write(
+        _head(status, content_type, len(body), keep_alive,
+              extra_headers=extra_headers)
+        + body
+    )
     await writer.drain()
 
 
@@ -264,10 +290,12 @@ async def send_json(
     status: int,
     payload,
     keep_alive: bool = True,
+    extra_headers: Optional[dict[str, str]] = None,
 ) -> None:
     """Serialize ``payload`` compactly and send it as one JSON response."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
-    await send_response(writer, status, body, keep_alive=keep_alive)
+    await send_response(writer, status, body, keep_alive=keep_alive,
+                        extra_headers=extra_headers)
 
 
 class ChunkedNdjsonWriter:
@@ -290,16 +318,19 @@ class ChunkedNdjsonWriter:
     """
 
     def __init__(self, writer: asyncio.StreamWriter,
-                 keep_alive: bool = True, status: int = 200) -> None:
+                 keep_alive: bool = True, status: int = 200,
+                 extra_headers: Optional[dict[str, str]] = None) -> None:
         self._writer = writer
         self._keep_alive = keep_alive
         self._status = status
+        self._extra_headers = extra_headers
 
     async def start(self) -> None:
         """Send the response head announcing chunked NDJSON."""
         self._writer.write(
             _head(self._status, NDJSON_CONTENT_TYPE, None,
-                  self._keep_alive, chunked=True)
+                  self._keep_alive, chunked=True,
+                  extra_headers=self._extra_headers)
         )
         await self._writer.drain()
 

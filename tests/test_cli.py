@@ -285,7 +285,8 @@ class TestObservabilityCommands:
 
     def test_metrics_delta_json(self, workspace, capsys):
         _, _, tree, _ = workspace
-        assert main(["metrics", "-t", str(tree), "-q", self.QUERY]) == 0
+        assert main(["metrics", "-t", str(tree), "-q", self.QUERY,
+                     "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["ctree.query.count"]["value"] == 1
         assert payload["ctree.query.candidates"]["type"] == "counter"
@@ -305,7 +306,7 @@ class TestObservabilityCommands:
         main(["metrics", "-t", str(tree), "-q", self.QUERY])
         capsys.readouterr()
         assert main(["metrics", "-t", str(tree), "-q", self.QUERY,
-                     "--cumulative"]) == 0
+                     "--cumulative", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         # cumulative counts cover both runs (and any earlier in-process ones)
         assert payload["ctree.query.count"]["value"] >= 2

@@ -16,6 +16,7 @@ import pytest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prometheus import (
     CONTENT_TYPE,
+    help_text,
     prometheus_name,
     render_prometheus,
 )
@@ -65,6 +66,19 @@ def parse_prometheus(text: str) -> tuple[dict, dict]:
             key += "{" + match.group("labels") + "}"
         samples[key] = value
     return samples, types
+
+
+def parse_help(text: str) -> dict[str, str]:
+    """``# HELP`` lines as ``{metric_name: help_text}``."""
+    helps: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or not parts[3]:
+                raise ValueError(f"malformed HELP line: {raw!r}")
+            helps[parts[2]] = parts[3]
+    return helps
 
 
 class TestNameSanitization:
@@ -144,3 +158,52 @@ class TestRender:
         global_registry().counter("prometheus.test.sentinel").inc()
         samples, _ = parse_prometheus(render_prometheus())
         assert samples["prometheus_test_sentinel_total"] >= 1
+
+
+class TestHelp:
+    def test_every_family_has_help(self):
+        reg = MetricsRegistry()
+        reg.counter("server.http.requests").inc()
+        reg.gauge("server.inflight").set(1)
+        reg.histogram("engine.per_batch.wall_seconds",
+                      bounds=(0.1, 1.0)).observe(0.2)
+        text = render_prometheus(reg)
+        samples, types = parse_prometheus(text)
+        helps = parse_help(text)
+        # every declared family (counter/gauge/histogram alike) carries
+        # a non-empty HELP line under its exposed name
+        assert set(helps) == set(types)
+        assert all(helps.values())
+
+    def test_help_precedes_type(self):
+        reg = MetricsRegistry()
+        reg.counter("server.http.requests").inc()
+        lines = render_prometheus(reg).splitlines()
+        assert lines[0].startswith("# HELP server_http_requests_total ")
+        assert lines[1] == "# TYPE server_http_requests_total counter"
+
+    def test_longest_prefix_wins(self):
+        assert help_text("server.http.requests") \
+            != help_text("server.inflight")
+        assert "coalescing" in help_text("server.coalesce.batches").lower()
+        assert "page" in help_text("bufferpool.hits").lower()
+
+    def test_unknown_family_gets_fallback(self):
+        text = help_text("totally.unknown.metric")
+        assert "totally.unknown.metric" in text
+
+    def test_slow_query_counters_have_help(self):
+        assert "slow-query" in help_text("server.slow_queries")
+        assert "slow-query" in help_text("server.slow_queries_logged")
+
+    def test_help_output_stays_parseable(self):
+        """The test-suite parser (reused by test_server for the live
+        /metrics payload) accepts the HELP-annotated exposition."""
+        reg = MetricsRegistry()
+        for name in ("server.http.requests", "engine.cache_hits",
+                     "ctree.query.count", "wal.appends",
+                     "mystery.metric"):
+            reg.counter(name).inc()
+        samples, types = parse_prometheus(render_prometheus(reg))
+        assert len(samples) == 5
+        assert all(t == "counter" for t in types.values())

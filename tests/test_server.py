@@ -370,7 +370,9 @@ class TestStreaming:
         lines = [json.loads(line) for line in
                  data.decode().strip().splitlines()]
         head, records, trailer = lines[0], lines[1:-1], lines[-1]
-        assert head == {"kind": "subgraph", "count": len(serial)}
+        assert head["kind"] == "subgraph"
+        assert head["count"] == len(serial)
+        assert head["request_id"]
         assert [r["graph_id"] for r in records] == serial
         assert trailer["stats"]["answers"] == len(serial)
 
@@ -401,7 +403,8 @@ class TestStreaming:
         assert status == 200
         lines = [json.loads(line) for line in
                  data.decode().strip().splitlines()]
-        assert lines[0] == {"kind": "knn", "count": len(serial)}
+        assert lines[0]["kind"] == "knn"
+        assert lines[0]["count"] == len(serial)
         assert [(r["graph_id"], r["similarity"]) for r in lines[1:-1]] \
             == [(gid, pytest.approx(sim)) for gid, sim in serial]
 

@@ -1,0 +1,356 @@
+"""Tests for the trace-analysis and cross-process propagation helpers.
+
+Covers ``repro.obs.trace``'s context export/attach, worker-side capture
+and record folding (including torn/partial records), ancestry walks,
+self-time accounting, and the Chrome trace-event export — plus
+hypothesis round-trips for the fold path.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    yield
+    trace.disable()
+
+
+def _emit_tree():
+    """A small known span tree; returns the emitted records."""
+    sink = trace.enable()
+    with trace.span("root", kind="test"):
+        with trace.span("child.a"):
+            with trace.span("leaf"):
+                pass
+        with trace.span("child.b"):
+            pass
+    trace.disable()
+    return sink.records
+
+
+# ----------------------------------------------------------------------
+# export_context / attach
+# ----------------------------------------------------------------------
+class TestContextPropagation:
+    def test_export_disabled_is_none(self):
+        assert trace.export_context() is None
+
+    def test_export_outside_span_is_none(self):
+        trace.enable()
+        assert trace.export_context() is None
+
+    def test_export_inside_span(self):
+        trace.enable()
+        with trace.span("outer") as sp:
+            ctx = trace.export_context()
+        assert ctx == {"trace_id": sp.trace_id, "span_id": sp.span_id,
+                       "depth": 0}
+        assert json.loads(json.dumps(ctx)) == ctx  # plain JSON data
+
+    def test_attach_reparents_spans(self):
+        sink = trace.enable()
+        with trace.span("outer"):
+            ctx = trace.export_context()
+        with trace.attach(ctx):
+            with trace.span("inner"):
+                pass
+        outer = next(r for r in sink.records if r["name"] == "outer")
+        inner = next(r for r in sink.records if r["name"] == "inner")
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["depth"] == 1
+
+    def test_attach_none_is_noop(self):
+        sink = trace.enable()
+        with trace.attach(None):
+            with trace.span("solo"):
+                pass
+        [rec] = sink.records
+        assert rec["parent_id"] is None and rec["depth"] == 0
+
+    def test_attach_crosses_threads(self):
+        """The executor-thread pattern the coalescer relies on."""
+        sink = trace.enable()
+        with trace.span("request"):
+            ctx = trace.export_context()
+
+        def work():
+            with trace.attach(ctx), trace.span("batch"):
+                pass
+
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+        request = next(r for r in sink.records if r["name"] == "request")
+        batch = next(r for r in sink.records if r["name"] == "batch")
+        assert batch["parent_id"] == request["span_id"]
+        assert batch["trace_id"] == request["trace_id"]
+
+
+# ----------------------------------------------------------------------
+# capture / fold_worker_records
+# ----------------------------------------------------------------------
+class TestWorkerFold:
+    def _worker_records(self):
+        """Spans recorded the way a worker process records them."""
+        with trace.capture() as records:
+            with trace.span("engine.task", pid=1234):
+                with trace.span("ctree.descend"):
+                    pass
+        return [dict(r) for r in records]
+
+    def test_capture_restores_tracer_state(self):
+        assert not trace.enabled()
+        records = self._worker_records()
+        assert not trace.enabled()
+        assert len(records) == 2
+        assert {r["name"] for r in records} \
+            == {"engine.task", "ctree.descend"}
+
+    def test_capture_is_isolated_from_active_sink(self):
+        sink = trace.enable()
+        with trace.span("parent"):
+            with trace.capture() as records:
+                with trace.span("scratch"):
+                    pass
+        assert all(r["name"] != "scratch" for r in sink.records)
+        assert [r["name"] for r in records] == ["scratch"]
+        # fresh id space, not parented under "parent"
+        assert records[0]["parent_id"] is None
+
+    def test_fold_splices_one_tree(self):
+        worker = self._worker_records()
+        sink = trace.enable()
+        with trace.span("engine.batch") as batch:
+            ctx = trace.export_context()
+            folded = trace.fold_worker_records(worker, ctx)
+        assert folded == 2
+        records = sink.records
+        task = next(r for r in records if r["name"] == "engine.task")
+        descend = next(r for r in records if r["name"] == "ctree.descend")
+        assert task["trace_id"] == batch.trace_id
+        assert task["parent_id"] == batch.span_id
+        assert task["depth"] == 1
+        assert descend["parent_id"] == task["span_id"]
+        assert descend["depth"] == 2
+        assert task["attrs"]["pid"] == 1234
+        # every span id unique after the id remap
+        ids = [r["span_id"] for r in records]
+        assert len(ids) == len(set(ids))
+
+    def test_fold_two_workers_no_id_collision(self):
+        """Two workers produce colliding private ids; folding must
+        keep them distinct."""
+        worker_a = self._worker_records()
+        worker_b = self._worker_records()
+        assert worker_a[0]["span_id"] == worker_b[0]["span_id"]
+        sink = trace.enable()
+        with trace.span("engine.batch") as batch:
+            ctx = trace.export_context()
+            assert trace.fold_worker_records(worker_a, ctx) == 2
+            assert trace.fold_worker_records(worker_b, ctx) == 2
+        ids = [r["span_id"] for r in sink.records]
+        assert len(ids) == len(set(ids))
+        tasks = [r for r in sink.records if r["name"] == "engine.task"]
+        assert len(tasks) == 2
+        assert all(t["parent_id"] == batch.span_id for t in tasks)
+
+    def test_fold_drops_torn_records(self):
+        torn = [
+            "not a dict",
+            {"span_id": None, "name": "x", "start": 0.0, "duration": 0.0},
+            {"span_id": 1, "name": "", "start": 0.0, "duration": 0.0},
+            {"span_id": 2, "name": "no.start", "duration": 0.0},
+            {"span_id": 3, "name": "bad.duration", "start": 0.0,
+             "duration": "oops"},
+            {"span_id": 4, "name": "ok", "start": 1.0, "duration": 0.5},
+        ]
+        sink = trace.enable()
+        with trace.span("batch"):
+            ctx = trace.export_context()
+            assert trace.fold_worker_records(torn, ctx) == 1
+        folded = [r for r in sink.records if r["name"] == "ok"]
+        assert len(folded) == 1
+
+    def test_fold_reattaches_orphans(self):
+        """A record whose parent was torn away re-parents to ctx."""
+        orphan = [{"span_id": 7, "parent_id": 99, "name": "orphan",
+                   "start": 0.0, "duration": 0.1, "depth": 3}]
+        sink = trace.enable()
+        with trace.span("batch") as batch:
+            ctx = trace.export_context()
+            assert trace.fold_worker_records(orphan, ctx) == 1
+        rec = next(r for r in sink.records if r["name"] == "orphan")
+        assert rec["parent_id"] == batch.span_id
+
+    def test_fold_disabled_or_no_ctx_is_zero(self):
+        records = self._worker_records()
+        assert trace.fold_worker_records(records, {"trace_id": 1,
+                                                   "span_id": 1}) == 0
+        trace.enable()
+        assert trace.fold_worker_records(records, None) == 0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis round-trips
+# ----------------------------------------------------------------------
+_NAMES = st.sampled_from(
+    ["engine.task", "ctree.descend", "kernels.pseudo_iso", "bufferpool.get"]
+)
+
+
+@st.composite
+def worker_traces(draw):
+    """A consistent worker-side record list: span 1 is the root, each
+    later span parents on an earlier one."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    records = []
+    for span_id in range(1, n + 1):
+        if span_id == 1:
+            parent, depth = None, 0
+        else:
+            parent = draw(st.integers(min_value=1, max_value=span_id - 1))
+            depth = records[parent - 1]["depth"] + 1
+        records.append({
+            "trace_id": 1, "span_id": span_id, "parent_id": parent,
+            "name": draw(_NAMES),
+            "start": draw(st.floats(0, 1e3, allow_nan=False)),
+            "duration": draw(st.floats(0, 10, allow_nan=False)),
+            "depth": depth, "attrs": {},
+        })
+    return records
+
+
+class TestFoldProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(worker_traces())
+    def test_fold_preserves_structure(self, worker):
+        trace.disable()
+        sink = trace.enable()
+        try:
+            with trace.span("batch") as batch:
+                ctx = trace.export_context()
+                folded = trace.fold_worker_records(
+                    [dict(r) for r in worker], ctx
+                )
+            assert folded == len(worker)
+            by_name_order = [r for r in sink.records if r["name"] != "batch"]
+            assert len(by_name_order) == len(worker)
+            for old, new in zip(worker, by_name_order):
+                assert new["name"] == old["name"]
+                assert new["start"] == old["start"]
+                assert new["duration"] == old["duration"]
+                assert new["trace_id"] == batch.trace_id
+                assert new["depth"] == old["depth"] + 1
+            # edges survive the id remap: parent names line up
+            old_name = {r["span_id"]: r["name"] for r in worker}
+            new_name = {r["span_id"]: r["name"]
+                        for r in sink.records}
+            for old, new in zip(worker, by_name_order):
+                if old["parent_id"] is not None:
+                    assert new_name[new["parent_id"]] \
+                        == old_name[old["parent_id"]]
+                else:
+                    assert new["parent_id"] == batch.span_id
+            # the folded tree is fully connected: every span reaches the
+            # batch root through ancestry
+            for new in by_name_order:
+                chain = trace.ancestry(new, sink.records)
+                assert chain and chain[-1]["name"] == "batch"
+        finally:
+            trace.disable()
+
+    @settings(max_examples=50, deadline=None)
+    @given(worker_traces())
+    def test_chrome_trace_roundtrip(self, worker):
+        payload = trace.chrome_trace(worker)
+        assert json.loads(json.dumps(payload)) == payload
+        events = payload["traceEvents"]
+        assert len(events) == len(worker)
+        # sorted by timestamp, microsecond conversion exact
+        assert all(a["ts"] <= b["ts"] for a, b in zip(events, events[1:]))
+        by_span = {ev["args"]["span_id"]: ev for ev in events}
+        for rec in worker:
+            ev = by_span[rec["span_id"]]
+            assert ev["ts"] == pytest.approx(rec["start"] * 1e6)
+            assert ev["dur"] == pytest.approx(rec["duration"] * 1e6)
+            assert ev["ph"] == "X"
+            assert ev["pid"] == rec["trace_id"]
+            assert ev["tid"] == rec["depth"]
+            assert ev["cat"] == rec["name"].split(".", 1)[0]
+
+
+# ----------------------------------------------------------------------
+# Ancestry and self-time
+# ----------------------------------------------------------------------
+class TestAnalysis:
+    def test_ancestry_nearest_first(self):
+        records = _emit_tree()
+        leaf = next(r for r in records if r["name"] == "leaf")
+        chain = trace.ancestry(leaf, records)
+        assert [r["name"] for r in chain] == ["child.a", "root"]
+
+    def test_ancestry_of_root_is_empty(self):
+        records = _emit_tree()
+        root = next(r for r in records if r["name"] == "root")
+        assert trace.ancestry(root, records) == []
+
+    def test_ancestry_torn_parent_stops(self):
+        records = _emit_tree()
+        leaf = next(r for r in records if r["name"] == "leaf")
+        torn = [r for r in records if r["name"] != "child.a"]
+        assert trace.ancestry(leaf, torn) == []
+
+    def test_ancestry_cycle_terminates(self):
+        loop = [
+            {"trace_id": 1, "span_id": 1, "parent_id": 2, "name": "a",
+             "start": 0.0, "duration": 0.0, "depth": 0, "attrs": {}},
+            {"trace_id": 1, "span_id": 2, "parent_id": 1, "name": "b",
+             "start": 0.0, "duration": 0.0, "depth": 0, "attrs": {}},
+        ]
+        chain = trace.ancestry(loop[0], loop)
+        assert [r["name"] for r in chain] == ["b", "a"]
+
+    def test_self_time_excludes_children(self):
+        records = [
+            {"trace_id": 1, "span_id": 1, "parent_id": None, "name": "root",
+             "start": 0.0, "duration": 1.0, "depth": 0, "attrs": {}},
+            {"trace_id": 1, "span_id": 2, "parent_id": 1, "name": "child",
+             "start": 0.1, "duration": 0.3, "depth": 1, "attrs": {}},
+            {"trace_id": 1, "span_id": 3, "parent_id": 1, "name": "child",
+             "start": 0.5, "duration": 0.2, "depth": 1, "attrs": {}},
+        ]
+        table = trace.summarize(records)
+        assert table["root"]["self"] == pytest.approx(0.5)
+        assert table["root"]["total"] == pytest.approx(1.0)
+        assert table["child"]["total"] == pytest.approx(0.5)
+
+    def test_self_time_never_negative(self):
+        records = [
+            {"trace_id": 1, "span_id": 1, "parent_id": None, "name": "root",
+             "start": 0.0, "duration": 0.1, "depth": 0, "attrs": {}},
+            # child longer than parent (clock skew in a folded trace)
+            {"trace_id": 1, "span_id": 2, "parent_id": 1, "name": "child",
+             "start": 0.0, "duration": 0.4, "depth": 1, "attrs": {}},
+        ]
+        table = trace.summarize(records)
+        assert table["root"]["self"] == 0.0
+
+    def test_chrome_trace_handles_partial_records(self):
+        payload = trace.chrome_trace([
+            {"span_id": 1},  # everything defaulted
+        ])
+        [ev] = payload["traceEvents"]
+        assert ev["name"] == "<span>"
+        assert ev["ts"] == 0.0 and ev["dur"] == 0.0
+
+    def test_chrome_trace_empty(self):
+        assert trace.chrome_trace([]) == {"traceEvents": [],
+                                          "displayTimeUnit": "ms"}
