@@ -1,0 +1,165 @@
+"""Incremental-append benchmark: throughput flat as the database grows.
+
+Grows one disk index through the configured ``|D|`` buckets (default
+150 -> 600 -> 2400, a 16x spread) using incremental ``extend`` batches,
+then measures append throughput with a fixed-size probe batch at each
+bucket.  The tentpole property under test: because an insert touches
+only a root-to-leaf path (plus split siblings) and the whole batch
+shares one group commit, append cost scales with tree *height* — not
+with ``|D|`` — so the curve stays flat where the old rebuild-on-append
+scaled linearly.
+
+Gates:
+
+(a) ``ctree.disk.rebuilds`` stays exactly 0 over the whole run — the
+    append path must never fall back to a rebuild;
+(b) the last bucket's probe throughput is >= ``min_flatness`` (default
+    0.5) of the first bucket's, i.e. growing |D| 16x costs at most 2x
+    per append (``--quick`` relaxes the floor: at smoke scale the
+    closures never saturate, so the curve is legitimately steeper);
+(c) a deep ``fsck`` of the final index is clean.
+
+Writes ``BENCH_append.json`` at the repo root (schema
+``append-bench-v1``, uploaded as a CI artifact by the bench-smoke job)
+plus the usual ``record_figure`` table + ``BENCH_ctree.json`` entry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import conftest
+from conftest import (
+    APPEND,
+    APPEND_BENCH_JSON,
+    APPEND_BENCH_SCHEMA,
+    record_figure,
+)
+
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.diskindex import DiskCTree
+from repro.datasets.chemical import ChemicalConfig, generate_chemical_database
+from repro.obs.metrics import global_registry
+
+#: small molecules keep closure maintenance cheap enough for 2400 graphs
+_CHEM = ChemicalConfig(mean_vertices=8, large_fraction=0.0)
+
+
+def _graph_stream(count: int, seed: int):
+    """A deterministic pool of graphs to grow the index from."""
+    return generate_chemical_database(count, seed=seed, config=_CHEM)
+
+
+def test_append_throughput_flat(tmp_path, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cfg = APPEND
+    sizes = list(cfg.database_sizes)
+    total = sizes[-1] + cfg.probe_batch * cfg.probe_repeats * len(sizes)
+    pool = _graph_stream(total, cfg.seed)
+    registry = global_registry()
+    rebuilds = registry.counter("ctree.disk.rebuilds")
+    commits = registry.counter("ctree.disk.group_commits")
+    rebuilds_before = rebuilds.value
+    commits_before = commits.value
+
+    path = tmp_path / "append.ctp"
+    seed_size = min(sizes[0], cfg.grow_batch)
+    tree = bulk_load(pool[:seed_size], min_fanout=cfg.min_fanout,
+                     seed=cfg.seed)
+    disk = DiskCTree.create(tree, path, page_size=cfg.page_size,
+                            cache_pages=cfg.cache_pages)
+    cursor = seed_size
+
+    throughput = []
+    probe_seconds = []
+    heights = []
+    try:
+        for bucket, size in enumerate(sizes):
+            while cursor < size:
+                step = min(cfg.grow_batch, size - cursor)
+                disk.extend(pool[cursor:cursor + step])
+                cursor += step
+            # Min-of-N probe timing: one-shot extend timings are noisy
+            # (a split landing inside the window, GC, page cache).
+            best = float("inf")
+            for _ in range(cfg.probe_repeats):
+                probe = pool[cursor:cursor + cfg.probe_batch]
+                cursor += cfg.probe_batch
+                start = time.perf_counter()
+                disk.extend(probe)
+                best = min(best, time.perf_counter() - start)
+            probe_seconds.append(best)
+            throughput.append(cfg.probe_batch / best if best else 0.0)
+            heights.append(disk.height)
+    finally:
+        disk.close()
+
+    rebuild_count = rebuilds.value - rebuilds_before
+    group_commits = commits.value - commits_before
+    report = DiskCTree.fsck(path, deep=True)
+    flatness = throughput[-1] / throughput[0] if throughput[0] else 0.0
+    floor = cfg.min_flatness_quick if conftest._QUICK else cfg.min_flatness
+
+    record_figure(
+        "append_throughput",
+        f"Incremental append: throughput vs |D| (chemical, probe batch "
+        f"{cfg.probe_batch}, group-committed)",
+        "|D|",
+        sizes,
+        {
+            "probe (s)": probe_seconds,
+            "appends/s": throughput,
+            "tree height": [float(h) for h in heights],
+        },
+        float_format="{:.3f}",
+    )
+
+    payload = {
+        "schema": APPEND_BENCH_SCHEMA,
+        "quick": conftest._QUICK,
+        "workload": {
+            "dataset": "chemical",
+            "database_sizes": sizes,
+            "probe_batch": cfg.probe_batch,
+            "probe_repeats": cfg.probe_repeats,
+            "grow_batch": cfg.grow_batch,
+            "min_fanout": cfg.min_fanout,
+            "page_size": cfg.page_size,
+            "cache_pages": cfg.cache_pages,
+            "seed": cfg.seed,
+        },
+        "runs": [
+            {
+                "database_size": size,
+                "probe_seconds": seconds,
+                "throughput": tput,
+                "height": height,
+            }
+            for size, seconds, tput, height in zip(
+                sizes, probe_seconds, throughput, heights)
+        ],
+        "gate": {
+            "rebuilds": rebuild_count,
+            "group_commits": group_commits,
+            "min_flatness": floor,
+            "achieved_flatness": flatness,
+            "fsck_clean": report.clean,
+        },
+    }
+    APPEND_BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n[append telemetry written to {APPEND_BENCH_JSON}]")
+
+    assert rebuild_count == 0, (
+        f"append path fell back to {rebuild_count} rebuild(s)"
+    )
+    assert group_commits > 0
+    assert report.clean, report.errors
+    assert flatness >= floor, (
+        f"append throughput sagged to {flatness:.2f}x of the first "
+        f"bucket (floor {floor}): "
+        f"{[f'{t:.1f}' for t in throughput]} appends/s at |D|={sizes}"
+    )

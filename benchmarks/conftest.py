@@ -117,6 +117,40 @@ SERVER = ServerBenchConfig()
 SERVER_BENCH_JSON = REPO_ROOT / "BENCH_server.json"
 SERVER_BENCH_SCHEMA = "server-bench-v1"
 
+
+@dataclass(frozen=True)
+class AppendBenchConfig:
+    """Workload of the incremental-append benchmark (bench_append.py).
+
+    One disk index is grown through the ``database_sizes`` buckets by
+    incremental ``extend`` batches; per-bucket append throughput is the
+    best of ``probe_repeats`` timed ``extend`` calls of ``probe_batch``
+    graphs each (min-of-N damps one-shot timing noise).  The gate pins
+    ``ctree.disk.rebuilds == 0`` over the whole run and requires the
+    last bucket's throughput to stay within ``min_flatness`` of the
+    first — the tentpole "append cost flat in |D|" property.
+    """
+
+    database_sizes: tuple = (150, 600, 2400)
+    probe_batch: int = 30
+    probe_repeats: int = 3
+    grow_batch: int = 75
+    min_fanout: int = 10
+    page_size: int = 2048
+    cache_pages: int = 256
+    #: flatness floor; ``--quick`` uses the relaxed one — at smoke
+    #: scale the closures never saturate, so descent cannot
+    #: short-circuit and the curve is legitimately steeper.
+    min_flatness: float = 0.5
+    min_flatness_quick: float = 0.25
+    seed: int = 7
+
+
+#: Incremental-append workload (bench_append.py -> BENCH_append.json).
+APPEND = AppendBenchConfig()
+APPEND_BENCH_JSON = REPO_ROOT / "BENCH_append.json"
+APPEND_BENCH_SCHEMA = "append-bench-v1"
+
 _QUICK = False
 #: figure name -> JSON-able series dict, flushed to BENCH_ctree.json
 _FIGURES: dict[str, dict] = {}
@@ -133,7 +167,7 @@ def pytest_addoption(parser):
 
 def pytest_configure(config):
     global _QUICK, CHEM_SWEEP, SYNTH_SWEEP, INDEX_SIZE, MAPPING_QUALITY, KNN
-    global ENGINE, SERVER
+    global ENGINE, SERVER, APPEND
     if not config.getoption("--quick", default=False):
         return
     _QUICK = True
@@ -160,6 +194,10 @@ def pytest_configure(config):
     SERVER = replace(
         SERVER, database_size=60, unique_queries=6, requests=30,
         clients=4,
+    )
+    APPEND = replace(
+        APPEND, database_sizes=(40, 80, 160), probe_batch=8,
+        grow_batch=40,
     )
 
 

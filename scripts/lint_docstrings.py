@@ -1,14 +1,16 @@
 #!/usr/bin/env python
-"""Docstring lint for the documented serving surface.
+"""Docstring lint for the documented serving + storage surface.
 
 A dependency-free, ``pydocstyle``-style checker (AST-based, stdlib only)
 that fails when any *public* module, class, function, or method in the
 audited paths lacks a docstring, or when a docstring has an empty
 summary line.  CI runs it (plus ``ruff``'s pydocstyle ``D1`` rules,
-which this mirrors) over ``src/repro/server/`` and
-``src/repro/ctree/parallel.py`` so the serving API reference in
-``docs/SERVING.md`` cannot silently rot; ``tests/test_docstrings.py``
-enforces the same contract inside tier-1.
+which this mirrors) over the serving layer (``src/repro/server/``,
+``src/repro/ctree/parallel.py``) and the durable-storage/insert surface
+(``src/repro/storage/``, ``src/repro/ctree/diskindex.py``,
+``src/repro/ctree/policies.py``) so the API references in
+``docs/SERVING.md`` and ``docs/DURABILITY.md`` cannot silently rot;
+``tests/test_docstrings.py`` enforces the same contract inside tier-1.
 
 Usage::
 
@@ -26,12 +28,18 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The documented serving surface (see ISSUE/PR 6): the whole HTTP
-#: layer, the batched engine, and the Prometheus exporter.
+#: The documented serving surface (see ISSUE/PR 6) — the whole HTTP
+#: layer, the batched engine, the Prometheus exporter — plus the
+#: durable-storage/insert surface (PR 8): page file, WAL, buffer pool,
+#: record store, the disk index with its incremental append path, and
+#: the insert/split policies.
 DEFAULT_PATHS = (
     "src/repro/server",
     "src/repro/ctree/parallel.py",
     "src/repro/obs/prometheus.py",
+    "src/repro/storage",
+    "src/repro/ctree/diskindex.py",
+    "src/repro/ctree/policies.py",
 )
 
 

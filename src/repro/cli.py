@@ -101,6 +101,28 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_append(args: argparse.Namespace) -> int:
+    """Append a JSONL database to a ``.ctp`` disk index incrementally
+    (``--rebuild`` forces the legacy full rebuild)."""
+    graphs = load_graph_database(args.input)
+    if not args.index.endswith(".ctp"):
+        raise SystemExit("error: append requires a .ctp disk index")
+    with DiskCTree.open(args.index, cache_pages=args.cache_pages) as disk:
+        start = time.perf_counter()
+        ids = disk.extend(graphs, seed=args.seed, rebuild=args.rebuild)
+        seconds = time.perf_counter() - start
+        mode = "rebuild" if args.rebuild else \
+            "incremental, one group commit"
+        if ids:
+            print(f"appended {len(ids)} graph(s) ({mode}) "
+                  f"in {seconds:.2f}s: ids {ids[0]}..{ids[-1]}")
+        else:
+            print("nothing to append")
+        print(f"index now holds {len(disk)} graphs at generation "
+              f"{disk.generation}, height {disk.height}")
+    return 0
+
+
 def cmd_build(args: argparse.Namespace) -> int:
     graphs = load_graph_database(args.input)
     start = time.perf_counter()
@@ -604,6 +626,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-size", type=int, default=4096)
     p.add_argument("--cache-pages", type=int, default=128)
     p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser(
+        "append",
+        help="append graphs to a .ctp disk index incrementally "
+             "(one group commit per call)",
+    )
+    p.add_argument("-i", "--input", required=True,
+                   help="JSONL database of graphs to append")
+    p.add_argument("-t", "--index", required=True, help="*.ctp disk index")
+    p.add_argument("--seed", type=int, default=0,
+                   help="policy RNG seed for this batch")
+    p.add_argument("--rebuild", action="store_true",
+                   help="force the legacy full rebuild instead of the "
+                        "incremental insert path")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_append)
 
     p = sub.add_parser("query", help="subgraph query against a saved index")
     p.add_argument("-t", "--tree", required=True,

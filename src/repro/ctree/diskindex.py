@@ -15,6 +15,16 @@ replays the log to the last committed generation and
 :meth:`DiskCTree.fsck` validates the result (checksums, page
 accounting, closure containment).  See ``docs/DURABILITY.md``.
 
+Appends are **incremental** (the paper's Section 5 dynamic insertion,
+run directly against the stored records): each new graph descends the
+tree via the configured insert policy, enlarges the closures on its
+root-to-leaf path in place, and splits overflowing nodes with the
+configured split policy — dirtying only that path plus any split
+siblings, never the rest of the tree.  A whole :meth:`extend` batch is
+**group-committed**: one WAL flush and one fsync close the batch, so
+append cost stays flat as the database grows (``ctree.disk.rebuilds``
+stays 0; the old full rebuild survives behind ``rebuild=True``).
+
 Usage::
 
     tree = bulk_load(graphs, ...)
@@ -29,18 +39,20 @@ Usage::
 from __future__ import annotations
 
 import json
+import random
 import struct
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.exceptions import ChecksumError, PersistenceError
-from repro.graphs.closure import GraphClosure
+from repro.graphs.closure import GraphClosure, as_closure
 from repro.graphs.graph import Graph
 from repro.graphs.histogram import LabelHistogram
 from repro.graphs.labelspace import target_context
 from repro.matching import kernels
 from repro.matching.bounds import SimilarityQueryContext
+from repro.matching.edit_distance import MAPPING_METHODS
 from repro.matching.pseudo_iso import (
     Level,
     global_semi_perfect,
@@ -49,7 +61,11 @@ from repro.matching.pseudo_iso import (
 from repro.matching.ullmann import subgraph_isomorphic
 from repro.obs import trace
 from repro.obs.metrics import global_registry
-from repro.ctree.node import CTreeNode, LeafEntry
+from repro.ctree.node import CTreeNode, LeafEntry, fold_closure
+from repro.ctree.policies import (
+    resolve_closure_split_policy,
+    resolve_fold_choice_policy,
+)
 from repro.ctree.stats import CounterField, KnnStats, QueryStats
 from repro.ctree.tree import CTree
 from repro.storage.bufferpool import BufferPool
@@ -89,6 +105,7 @@ class DiskQueryStats(QueryStats):
 
     @property
     def page_hit_ratio(self) -> float:
+        """Fraction of page reads served from the buffer pool."""
         total = self.page_hits + self.page_misses
         return self.page_hits / total if total else 0.0
 
@@ -112,6 +129,7 @@ class DiskKnnStats(KnnStats):
 
     @property
     def page_hit_ratio(self) -> float:
+        """Fraction of page reads served from the buffer pool."""
         total = self.page_hits + self.page_misses
         return self.page_hits / total if total else 0.0
 
@@ -135,12 +153,15 @@ class FsckReport:
 
     @property
     def clean(self) -> bool:
+        """Whether no integrity violations were found."""
         return not self.errors
 
     def issue(self, message: str) -> None:
+        """Record one integrity violation."""
         self.errors.append(message)
 
     def summary(self) -> str:
+        """Human-readable one-liner of the check result."""
         status = "clean" if self.clean else \
             f"{len(self.errors)} error(s) found"
         parts = [
@@ -165,6 +186,7 @@ class DiskRecovery:
 
     @property
     def ok(self) -> bool:
+        """Whether recovery landed on a valid committed state."""
         if not self.storage.initialized:
             # No committed index ever existed; there is nothing to
             # validate, and nothing was lost.
@@ -172,6 +194,7 @@ class DiskRecovery:
         return self.fsck is None or self.fsck.clean
 
     def summary(self) -> str:
+        """Storage replay summary plus the fsck one-liner."""
         lines = [self.storage.summary()]
         if self.fsck is not None:
             lines.append(self.fsck.summary())
@@ -328,34 +351,82 @@ class DiskCTree:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def append(self, graphs: Iterable[Graph], seed: int = 0) -> list[int]:
+    def append(self, graphs: Iterable[Graph], seed: int = 0,
+               rebuild: bool = False) -> list[int]:
         """Add graphs one logical batch at a time (alias of
-        :meth:`extend`, kept for the historical API)."""
-        return self.extend(graphs, seed=seed)
+        :meth:`extend`, kept for the historical API).
 
-    def extend(self, graphs: Iterable[Graph], seed: int = 0) -> list[int]:
-        """Add a batch of graphs with **one** index rebuild for the whole
-        batch; returns their new graph ids.
-
-        The tree is rebuilt by re-bulk-loading the existing graphs (ids
-        preserved — :func:`~repro.ctree.bulkload.bulk_load` numbers
-        input order) followed by the new ones.  Old records are freed
-        and their pages recycled for the new generation.  The swap
-        becomes durable at the checkpoint closing this call: a crash at
-        any earlier point recovers to the previous generation intact.
-
-        The rebuild is the expensive part (the ROADMAP's full-rebuild
-        lever) and its cost is independent of the batch size split:
-        ``extend(batch)`` rebuilds once where a per-graph ``append``
-        loop rebuilds ``len(batch)`` times.  Rebuilds are counted in the
-        ``ctree.disk.rebuilds`` metric.
+        Historically every call rebuilt the whole index, so an append
+        loop paid one rebuild per graph; appends are now incremental
+        and an append loop costs one root-to-leaf path per graph.  The
+        deprecated rebuild behavior survives behind ``rebuild=True``.
         """
-        from repro.ctree.bulkload import bulk_load
+        return self.extend(graphs, seed=seed, rebuild=rebuild)
 
+    def extend(self, graphs: Iterable[Graph], seed: int = 0,
+               rebuild: bool = False) -> list[int]:
+        """Add a batch of graphs incrementally under **one** group
+        commit; returns their new graph ids.
+
+        Each graph descends the stored tree via the configured insert
+        policy (Section 5.2), its root-to-leaf path closures are
+        enlarged in place, and overflowing nodes are split with the
+        configured split policy (Section 5.3) — splits dirty only the
+        path and the new sibling records, and split pages come from the
+        free list before the file grows.  The whole batch then becomes
+        durable at a single closing checkpoint (one WAL commit + one
+        fsync — the *group commit*): a crash at any earlier point
+        recovers to the previous generation intact.
+
+        Counters: each graph bumps ``ctree.disk.incremental_inserts``,
+        each node split ``ctree.disk.splits``, each committed batch
+        ``ctree.disk.group_commits``.  ``ctree.disk.rebuilds`` stays 0
+        on this path; ``rebuild=True`` forces the legacy full rebuild
+        (re-bulk-load of every stored graph — kept as an escape hatch
+        for re-packing a degraded tree) which is what that counter
+        tracks.
+        """
         self._check_open()
         new_graphs = list(graphs)
         if not new_graphs:
             return []
+        if rebuild:
+            return self._extend_rebuild(new_graphs, seed)
+        reg = global_registry()
+        config = self._meta.get("config", {})
+        mapper = MAPPING_METHODS[config.get("mapping_method", "nbm")]
+        choose = resolve_fold_choice_policy(
+            config.get("insert_policy", "min_volume"))
+        partition = resolve_closure_split_policy(
+            config.get("split_policy", "linear"))
+        min_fanout = config.get("min_fanout", 20)
+        max_fanout = config.get("max_fanout") or 2 * min_fanout - 1
+        rng = random.Random(seed)
+        first_new = self._meta.get("graph_count", 0)
+        inserts = reg.counter("ctree.disk.incremental_inserts")
+        generation = self._meta.get("generation", 1) + 1
+        with trace.span("ctree.disk.extend", graphs=len(new_graphs),
+                        generation=generation):
+            for offset, graph in enumerate(new_graphs):
+                self._insert_one(first_new + offset, graph, mapper, choose,
+                                 partition, min_fanout, max_fanout, rng)
+                inserts.value += 1
+            self._meta["graph_count"] = first_new + len(new_graphs)
+            self._meta["generation"] = generation
+            self._write_meta()
+            note = (f"extend gen={generation} "
+                    f"graphs={len(new_graphs)}").encode("ascii")
+            self.checkpoint(note=note)
+        reg.counter("ctree.disk.group_commits").inc()
+        return list(range(first_new, first_new + len(new_graphs)))
+
+    def _extend_rebuild(self, new_graphs: list[Graph],
+                        seed: int) -> list[int]:
+        """The legacy append: re-bulk-load everything (ids preserved —
+        :func:`~repro.ctree.bulkload.bulk_load` numbers input order),
+        free the old records, write the new generation."""
+        from repro.ctree.bulkload import bulk_load
+
         global_registry().counter("ctree.disk.rebuilds").inc()
         existing = dict(self.iter_graphs())
         ordered = [existing[gid] for gid in sorted(existing)]
@@ -378,14 +449,152 @@ class DiskCTree:
         meta, meta_record = self._write_tree(self._store, tree, generation)
         self._store.pool.pagefile.user_root = meta_record
         self._meta = meta
-        self.checkpoint()
+        self.checkpoint(note=f"rebuild gen={generation}".encode("ascii"))
         return list(range(first_new, len(ordered)))
 
-    def checkpoint(self) -> None:
+    # -- incremental insertion (Section 5 against stored records) ------
+    @staticmethod
+    def _dump_record(record: dict) -> bytes:
+        return json.dumps(record, separators=(",", ":")).encode("utf-8")
+
+    def _record_closure(self, record_id: int) -> GraphClosure:
+        """The stored closure summarizing one child record."""
+        record = self._load_record(record_id)
+        return GraphClosure.from_dict(record["closure"])
+
+    def _insert_one(self, graph_id: int, graph: Graph, mapper, choose,
+                    partition, min_fanout: int, max_fanout: int,
+                    rng: random.Random) -> None:
+        """One Section-5 insert against the stored tree: descend via the
+        insert policy, extend every closure on the path, split
+        bottom-up on overflow.  Only the root-to-leaf path records (and
+        any split siblings) are written.
+
+        Two economies keep this flat as the database grows: children are
+        deserialized lazily so a short-circuiting policy never loads the
+        siblings it skipped, and the policy's enlarged closure for the
+        chosen child is reused as that level's fold instead of mapping
+        the graph in a second time.
+        """
+        store = self._store
+        path_ids = [self._meta["root"]]
+        path_recs = [self._load_record(path_ids[0])]
+        # graph already folded into the record's closure, per path level
+        path_folds: list[Optional[GraphClosure]] = [None]
+        while not path_recs[-1]["leaf"]:
+            child_ids = path_recs[-1]["children"]
+            closures = _LazyClosures(self, child_ids)
+            index, enlarged = choose(closures, graph, mapper, rng)
+            path_ids.append(child_ids[index])
+            path_recs.append(self._load_record(child_ids[index]))
+            path_folds.append(enlarged)
+
+        graph_record = store.store(self._dump_record(graph.to_dict()))
+        path_recs[-1].setdefault("graphs", []).append(
+            [graph_id, graph_record])
+        dirty = [False] * len(path_recs)
+        dirty[-1] = True
+        for i, rec in enumerate(path_recs):
+            folded = path_folds[i]
+            if folded is None:
+                closure = GraphClosure.from_dict(rec["closure"]) \
+                    if "closure" in rec else None
+                folded = fold_closure(closure, graph, mapper)
+            folded_dict = folded.to_dict()
+            if folded_dict != rec.get("closure"):
+                rec["closure"] = folded_dict
+                dirty[i] = True
+
+        splits = global_registry().counter("ctree.disk.splits")
+        sibling_id: Optional[int] = None
+        for i in range(len(path_recs) - 1, -1, -1):
+            rec = path_recs[i]
+            if sibling_id is not None:
+                rec["children"].append(sibling_id)
+                sibling_id = None
+                dirty[i] = True
+            entries = rec["graphs"] if rec["leaf"] else rec["children"]
+            if len(entries) > max_fanout:
+                sibling_id = self._split_record(rec, mapper, partition,
+                                                min_fanout, rng)
+                splits.value += 1
+                dirty[i] = True
+            # Persist before the parent is processed: a parent split
+            # reads child closures back from the store.  Ancestors whose
+            # closure already absorbed the graph are left untouched, so
+            # a saturated insert dirties only the leaf end of the path.
+            if dirty[i]:
+                store.update(path_ids[i], self._dump_record(rec))
+            if sibling_id is not None and i == 0:
+                self._grow_root(path_ids[0], rec, sibling_id, mapper)
+                sibling_id = None
+
+    def _split_record(self, rec: dict, mapper, partition, min_fanout: int,
+                      rng: random.Random) -> int:
+        """Split an overflowing record in place (Section 5.3): the first
+        partition group stays in ``rec``, the second moves to a freshly
+        stored sibling; both summaries are re-folded from their
+        entries, mirroring the in-memory split exactly.  Returns the
+        sibling's record id."""
+        key = "graphs" if rec["leaf"] else "children"
+        entries = rec[key]
+        if rec["leaf"]:
+            closures = [as_closure(self._load_graph(graph_record))
+                        for _, graph_record in entries]
+        else:
+            closures = [self._record_closure(cid) for cid in entries]
+        with trace.span("ctree.disk.split", fanout=len(entries),
+                        leaf=rec["leaf"]):
+            group1, group2 = partition(closures, mapper, rng, min_fanout)
+            if not group1 or not group2:
+                raise PersistenceError("split policy produced an empty group")
+
+            def fold_group(indices: list[int]) -> GraphClosure:
+                closure: Optional[GraphClosure] = None
+                for index in indices:
+                    closure = fold_closure(closure, closures[index], mapper)
+                assert closure is not None
+                return closure
+
+            sibling = {
+                "leaf": rec["leaf"],
+                "closure": fold_group(group2).to_dict(),
+                key: [entries[i] for i in group2],
+            }
+            rec[key] = [entries[i] for i in group1]
+            rec["closure"] = fold_group(group1).to_dict()
+            return self._store.store(self._dump_record(sibling))
+
+    def _grow_root(self, old_root_id: int, old_root: dict, sibling_id: int,
+                   mapper) -> None:
+        """A root split reached the top: push a new root above the two
+        halves and grow the tree by one level."""
+        closure = fold_closure(
+            GraphClosure.from_dict(old_root["closure"]),
+            self._record_closure(sibling_id),
+            mapper,
+        )
+        new_root = {
+            "leaf": False,
+            "closure": closure.to_dict(),
+            "children": [old_root_id, sibling_id],
+        }
+        self._meta["root"] = self._store.store(self._dump_record(new_root))
+        self._meta["height"] = self._meta.get("height", 0) + 1
+
+    def _write_meta(self) -> None:
+        """Rewrite the metadata record in place (its id — the page
+        file's user root — is stable across incremental appends)."""
+        meta_record = self._store.pool.pagefile.user_root
+        self._store.update(meta_record, self._dump_record(self._meta))
+
+    def checkpoint(self, note: bytes = b"") -> None:
         """Make every buffered change durable (in WAL mode: log, commit,
-        transfer into the page file, truncate the log)."""
+        transfer into the page file, truncate the log).  ``note`` is a
+        diagnostic tag carried on the WAL COMMIT record — a group
+        commit stamps its whole batch with one note."""
         self._check_open()
-        self._store.pool.flush()
+        self._store.pool.flush(note)
 
     def _collect_record_ids(self) -> list[int]:
         """Every live record id: the metadata record plus all node and
@@ -413,6 +622,7 @@ class DiskCTree:
 
     @property
     def height(self) -> int:
+        """Levels of internal nodes above the leaves."""
         return self._meta["height"]
 
     @property
@@ -428,6 +638,7 @@ class DiskCTree:
 
     @property
     def pool(self) -> BufferPool:
+        """The index's buffer pool (for I/O stats and flushing)."""
         return self._store.pool
 
     def _load_record(self, record_id: int) -> dict:
@@ -776,9 +987,10 @@ class DiskCTree:
 
         Replays the sidecar WAL (:func:`repro.storage.wal.recover`),
         then runs :meth:`fsck` over the result: record chains must
-        resolve, every page must be reachable or free, and parent
-        closures must contain their children.  ``deep=True`` further
-        checks each leaf graph pseudo-isomorphic into its leaf closure.
+        resolve, every page must be reachable or free, and every
+        ancestor closure must contain the graphs below it.
+        ``deep=True`` further checks each graph pseudo-isomorphic into
+        every closure on its root-to-leaf path.
 
         Examples
         --------
@@ -804,11 +1016,14 @@ class DiskCTree:
 
         Verifies page checksums, free-list sanity, record-chain
         resolution, tree reachability (live pages and free pages must
-        tile the file exactly), graph-id uniqueness, and closure
-        containment along parent/child edges.  ``deep=True`` adds a
-        level-1 pseudo-subgraph-isomorphism test of every leaf graph
-        into its leaf closure (sound by the paper's Lemma 1: a closure
-        contains each member graph as a subgraph-with-wildcards).
+        tile the file exactly — so a split's free-list pages are
+        reachable or free exactly once), graph-id uniqueness, uniform
+        leaf depth, fanout bounds, and closure containment of every
+        graph along its whole root-to-leaf lineage.  ``deep=True`` adds
+        a level-1 pseudo-subgraph-isomorphism test of every graph into
+        each closure on that lineage (sound by the paper's Lemma 1: a
+        closure contains each member graph as a
+        subgraph-with-wildcards).
 
         The report is machine-readable and read-only to produce — the
         query server's ``/healthz`` endpoint runs exactly this
@@ -936,12 +1151,31 @@ class DiskCTree:
     @classmethod
     def _fsck_tree(cls, store: RecordStore, meta: dict, reachable: set,
                    report: FsckReport, deep: bool) -> set:
+        """Walk the tree checking the invariants incremental inserts
+        must preserve.
+
+        The pruning-soundness invariant (the paper's Lemma 1) is that
+        every database graph is contained in **each closure on its
+        root-to-leaf path** — checked here as histogram dominance along
+        the whole lineage, and under ``deep`` as a level-1
+        pseudo-isomorphism of the graph into every ancestor closure.
+        (Parent-closure-dominates-child-closure is deliberately *not*
+        required: incremental closure extension only guarantees
+        containment of member graphs, exactly like the in-memory
+        ``CTree.validate``.)  Structural checks: leaves all sit at the
+        metadata height, and no node overflows the configured maximum
+        fanout.
+        """
         graph_ids: set[int] = set()
-        stack: list[tuple[int, Optional[LabelHistogram]]] = [
-            (meta["root"], None)
-        ]
+        config = meta.get("config", {})
+        min_fanout = config.get("min_fanout", 20)
+        max_fanout = config.get("max_fanout") or 2 * min_fanout - 1
+        height = meta.get("height", 0)
+        #: (record id, depth, [(ancestor hist, ancestor closure), ...])
+        Lineage = list[tuple[LabelHistogram, GraphClosure]]
+        stack: list[tuple[int, int, Lineage]] = [(meta["root"], 0, [])]
         while stack:
-            record_id, parent_hist = stack.pop()
+            record_id, depth, lineage = stack.pop()
             record = cls._fsck_record(store, record_id, "node",
                                       reachable, report)
             if record is None:
@@ -961,15 +1195,28 @@ class DiskCTree:
                     f"node record {record_id}: non-empty node without a "
                     f"closure"
                 )
+            entries = record.get("graphs", []) if record.get("leaf") \
+                else record.get("children", [])
+            if len(entries) > max_fanout:
+                report.issue(
+                    f"node record {record_id}: fanout {len(entries)} "
+                    f"exceeds the configured maximum {max_fanout}"
+                )
+            if depth > 0 and len(entries) < min_fanout:
+                report.notes.append(
+                    f"node record {record_id}: fanout {len(entries)} "
+                    f"below the configured minimum {min_fanout}"
+                )
             hist = LabelHistogram.of(closure) if closure is not None \
                 else None
-            if parent_hist is not None and hist is not None \
-                    and not parent_hist.dominates(hist):
-                report.issue(
-                    f"node record {record_id}: parent closure does not "
-                    f"contain this node's closure"
-                )
+            line = lineage + [(hist, closure)] \
+                if hist is not None and closure is not None else lineage
             if record.get("leaf"):
+                if depth != height:
+                    report.issue(
+                        f"node record {record_id}: leaf at depth {depth}, "
+                        f"metadata says height {height}"
+                    )
                 for entry in record.get("graphs", []):
                     gid, graph_record = entry
                     if gid in graph_ids:
@@ -988,33 +1235,45 @@ class DiskCTree:
                             IndexError) as exc:
                         report.issue(f"graph {gid}: unparseable: {exc}")
                         continue
-                    if hist is not None \
-                            and not hist.dominates(LabelHistogram.of(graph)):
-                        report.issue(
-                            f"graph {gid}: leaf closure does not dominate "
-                            f"its label histogram"
-                        )
-                        continue
-                    if deep and closure is not None:
-                        domains = pseudo_compatibility_domains(
-                            graph, closure, 1
-                        )
-                        if not global_semi_perfect(
-                                domains, closure.num_vertices):
-                            report.issue(
-                                f"graph {gid}: not pseudo-contained in "
-                                f"its leaf closure"
-                            )
+                    cls._fsck_graph_lineage(gid, graph, line, deep, report)
             else:
                 for child_record in record.get("children", []):
-                    stack.append((child_record, hist))
+                    stack.append((child_record, depth + 1, line))
         return graph_ids
+
+    @staticmethod
+    def _fsck_graph_lineage(gid: int, graph: Graph,
+                            lineage: list, deep: bool,
+                            report: FsckReport) -> None:
+        """Lemma-1 containment of one graph along its whole root-to-leaf
+        path: every ancestor histogram must dominate the graph's, and
+        (``deep``) the graph must be pseudo-isomorphic into every
+        ancestor closure — the exact path incremental inserts enlarge."""
+        graph_hist = LabelHistogram.of(graph)
+        for level, (hist, closure) in enumerate(lineage):
+            where = "leaf" if level == len(lineage) - 1 \
+                else f"ancestor at depth {level}"
+            if not hist.dominates(graph_hist):
+                report.issue(
+                    f"graph {gid}: {where} closure does not dominate "
+                    f"its label histogram"
+                )
+                continue
+            if deep:
+                domains = pseudo_compatibility_domains(graph, closure, 1)
+                if not global_semi_perfect(domains, closure.num_vertices):
+                    report.issue(
+                        f"graph {gid}: not pseudo-contained in the "
+                        f"{where} closure"
+                    )
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
+        """Checkpoint all dirty state to disk (one WAL commit)."""
         self._store.pool.flush()
 
     def close(self) -> None:
+        """Flush and release the underlying storage stack."""
         if not self._closed:
             self._store.pool.close()
             self._closed = True
@@ -1032,3 +1291,33 @@ class DiskCTree:
     def __repr__(self) -> str:
         return (f"<DiskCTree |D|={len(self)} height={self.height} "
                 f"pages={self._store.pool.pagefile.page_count}>")
+
+
+class _LazyClosures:
+    """Child closures of one record, deserialized on first access.
+
+    Handed to insert policies during descent so a short-circuiting
+    policy (``min_volume`` returns at the first zero volume increase)
+    never pays to parse the siblings it skipped.  Accesses are cached:
+    a policy that does examine every child (``min_overlap``) parses
+    each one exactly once.
+    """
+
+    def __init__(self, index: DiskCTree, child_ids: list):
+        self._index = index
+        self._ids = child_ids
+        self._cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __getitem__(self, i: int) -> GraphClosure:
+        closure = self._cache.get(i)
+        if closure is None:
+            closure = self._index._record_closure(self._ids[i])
+            self._cache[i] = closure
+        return closure
+
+    def __iter__(self):
+        for i in range(len(self._ids)):
+            yield self[i]

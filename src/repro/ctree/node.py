@@ -19,6 +19,24 @@ from repro.graphs.histogram import LabelHistogram
 Mapper = Callable[[GraphLike, GraphLike], "object"]
 
 
+def fold_closure(
+    base: Optional[GraphClosure], addition: GraphLike, mapper: Mapper
+) -> GraphClosure:
+    """Union one more graph-like object into a closure (the Section 3
+    incremental closure step).
+
+    Returns a *new* closure covering both ``base`` and ``addition``
+    (``base is None`` starts a fresh closure).  This is the single
+    summary-maintenance primitive shared by the in-memory tree
+    (:meth:`CTreeNode.extend_summary`) and the disk index's incremental
+    insert path, so both enlarge closures identically.
+    """
+    added = as_closure(addition)
+    if base is None:
+        return added.copy()
+    return mapper(base, added).closure()
+
+
 @dataclass
 class LeafEntry:
     """A database graph stored at a leaf.
@@ -108,13 +126,7 @@ class CTreeNode:
     def extend_summary(self, addition: GraphLike, mapper: Mapper) -> None:
         """Enlarge this node's closure/histogram to cover ``addition``
         (incremental closure, Section 3)."""
-        added = as_closure(addition)
-        if self.closure is None:
-            self.closure = added.copy()
-            self.histogram = LabelHistogram.of(self.closure)
-            return
-        mapping = mapper(self.closure, added)
-        self.closure = mapping.closure()
+        self.closure = fold_closure(self.closure, addition, mapper)
         self.histogram = LabelHistogram.of(self.closure)
 
     def rebuild_summary(self, mapper: Mapper) -> None:

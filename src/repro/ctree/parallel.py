@@ -32,8 +32,14 @@ reports the same process-wide totals as a serial one.
 
 **Read-only contract.**  Workers fork (or reopen) the index as it exists
 at pool creation.  Mutating the index mid-flight is not supported; call
-:meth:`QueryEngine.refresh` after a mutation to respawn workers and drop
-the answer cache.
+:meth:`QueryEngine.refresh` after a mutation to drop the answer cache
+and expose the new state.  For a disk index the long-lived pool
+survives the refresh: the engine bumps an *index epoch* that rides on
+every task, and each worker lazily swaps its read-only handle the
+first time it sees a task from a newer epoch — no respawn, so
+incremental appends become visible to pre-forked workers at the cost
+of one reopen per worker.  In-memory trees are shared by fork-time
+copy-on-write and still require a respawn.
 
 On platforms without the ``fork`` start method the engine degrades to
 serial in-process execution (caching still applies); answers are
@@ -65,24 +71,57 @@ Index = Union[CTree, DiskCTree]
 _KIND_SUBGRAPH = "subgraph"
 _KIND_KNN = "knn"
 
-#: worker-process global: the index handle queries run against
+#: worker-process globals: the index handle queries run against, the
+#: index epoch that handle reflects, and how to reopen it (disk only)
 _WORKER_INDEX: Optional[Index] = None
+_WORKER_EPOCH: int = 0
+_WORKER_DISK_PATH = None
+_WORKER_CACHE_PAGES: int = 128
 
 
-def _worker_init(index: Optional[Index], disk_path, cache_pages: int) -> None:
+def _worker_init(index: Optional[Index], disk_path, cache_pages: int,
+                 epoch: int = 0) -> None:
     """Pool initializer: adopt the fork-inherited in-memory tree, or open
     an independent read-only handle on the shared page file."""
-    global _WORKER_INDEX
+    global _WORKER_INDEX, _WORKER_EPOCH, _WORKER_DISK_PATH, \
+        _WORKER_CACHE_PAGES
     # An inherited tracing sink would interleave span writes from every
     # worker into the parent's file; workers instead capture spans into
     # a scratch tracer per traced task and ship them home (_worker_run).
     trace.disable()
+    _WORKER_EPOCH = epoch
+    _WORKER_DISK_PATH = disk_path
+    _WORKER_CACHE_PAGES = cache_pages
     if disk_path is not None:
         _WORKER_INDEX = DiskCTree.open(
             disk_path, cache_pages=cache_pages, wal=False, auto_recover=False
         )
     else:
         _WORKER_INDEX = index
+
+
+def _worker_sync_epoch(epoch: int) -> None:
+    """Swap this worker's read-only disk handle when the parent has
+    committed a newer index generation (task epoch ahead of ours).
+
+    The stale handle is closed with header writes suppressed — a
+    read-only worker must never clobber the writer's live header — and
+    the index is reopened cold at the same path.  In-memory indexes
+    have no path to reopen; they are refreshed by pool respawn instead.
+    """
+    global _WORKER_INDEX, _WORKER_EPOCH
+    if epoch == _WORKER_EPOCH or _WORKER_DISK_PATH is None:
+        return
+    stale = _WORKER_INDEX
+    if stale is not None:
+        stale.pool.pagefile.defer_header = True
+        stale.close()
+    _WORKER_INDEX = DiskCTree.open(
+        _WORKER_DISK_PATH, cache_pages=_WORKER_CACHE_PAGES,
+        wal=False, auto_recover=False,
+    )
+    _WORKER_EPOCH = epoch
+    global_registry().counter("engine.worker_reopens").inc()
 
 
 def _execute(index: Index, kind: str, query: Graph, params: tuple):
@@ -112,9 +151,11 @@ def _worker_run(task):
     :func:`~repro.obs.trace.fold_worker_records` — exactly how worker
     metrics ride home as registry deltas.
     """
-    task_id, kind, query, params, ctx = task
+    task_id, kind, query, params, ctx, epoch = task
     registry = global_registry()
     before = registry.snapshot()
+    # After the snapshot, so a handle swap's counter rides the delta.
+    _worker_sync_epoch(epoch)
     spans: list = []
     start = time.perf_counter()
     if ctx is not None:
@@ -228,6 +269,9 @@ class QueryEngine:
         self._entries = 0
         self._pool = None
         self._pool_workers = 0
+        #: bumped by refresh(); rides on every task so pre-forked disk
+        #: workers know when to swap their read-only handle
+        self._epoch = 0
         self._refresh_hooks: list = []
         self.last_batch: Optional[BatchReport] = None
         disk = isinstance(index, DiskCTree)
@@ -316,18 +360,29 @@ class QueryEngine:
         return self
 
     def refresh(self) -> None:
-        """Drop the answer cache and respawn the workers over the
-        mutated index — call after every index mutation.
+        """Drop the answer cache and expose the mutated index to the
+        workers — call after every index mutation.
 
-        If a pool was running it is respawned *immediately* (the new
-        workers re-inherit or reopen the index as it now exists), so a
-        serving process never pays the fork on the next query's
-        latency.  Hooks registered via :meth:`on_refresh` run last —
-        the HTTP server uses this to invalidate anything it derived
-        from the old index generation.
+        For a **disk index** the long-lived pool is kept: the engine
+        bumps its index epoch, and each worker swaps its read-only
+        handle the first time a task from the new epoch reaches it
+        (``engine.worker_reopens`` counts the swaps).  An incremental
+        append therefore becomes visible to pre-forked workers without
+        a pool restart.  An **in-memory** tree is shared by fork-time
+        copy-on-write, so its pool is respawned immediately (the new
+        workers re-inherit the tree as it now exists) and the next
+        query never pays the fork.  Hooks registered via
+        :meth:`on_refresh` run last — the HTTP server uses this to
+        invalidate anything it derived from the old index generation.
         """
         self._cache.clear()
         self._entries = 0
+        self._epoch += 1
+        if isinstance(self._index, DiskCTree) and self._pool is not None:
+            # Workers reopen lazily on the next task from this epoch.
+            for hook in self._refresh_hooks:
+                hook(self)
+            return
         had_pool = self._pool_workers
         self._close_pool()
         if had_pool > 1:
@@ -388,7 +443,7 @@ class QueryEngine:
             # re-parent here, keeping one coherent tree per request.
             ctx = trace.export_context()
             tasks = [
-                (task_id, kind, query, params, ctx)
+                (task_id, kind, query, params, ctx, self._epoch)
                 for task_id, (query, _) in enumerate(pending.values())
             ]
             parallel = (effective > 1 and self._fork_ok and len(tasks) > 1)
@@ -420,7 +475,7 @@ class QueryEngine:
         single task)."""
         executed = {}
         busy = 0.0
-        for task_id, kind, query, params, _ctx in tasks:
+        for task_id, kind, query, params, _ctx, _epoch in tasks:
             start = time.perf_counter()
             with trace.span("engine.task", task_id=task_id, kind=kind,
                             pid=os.getpid()):
@@ -463,11 +518,11 @@ class QueryEngine:
         ctx = multiprocessing.get_context("fork")
         if isinstance(self._index, DiskCTree):
             initargs = (None, os.fspath(self._index.path),
-                        self._cache_pages)
+                        self._cache_pages, self._epoch)
         else:
             # Under fork, initargs are inherited by reference — the tree
             # (and its memoized kernel contexts) is never pickled.
-            initargs = (self._index, None, self._cache_pages)
+            initargs = (self._index, None, self._cache_pages, self._epoch)
         self._pool = ctx.Pool(processes=workers, initializer=_worker_init,
                               initargs=initargs)
         self._pool_workers = workers

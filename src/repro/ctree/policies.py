@@ -6,6 +6,20 @@ lists three options for each and picks *minimum volume increase* for
 insertion and *linear pivot-based partitioning* for splits as the
 quality/time trade-off; both defaults are implemented here alongside the
 alternatives, which the ablation benchmarks exercise.
+
+Each policy exists at two levels:
+
+- **closure-level** primitives (``choose_closure_*`` /
+  ``partition_closures_*``) operate on a plain list of
+  :class:`~repro.graphs.closure.GraphClosure` summaries — the form the
+  disk index's incremental insert works in, where children are records
+  read on demand rather than live node objects;
+- **node-level** wrappers (``choose_child_*`` / ``split_*``) adapt a
+  :class:`~repro.ctree.node.CTreeNode`'s children for the in-memory
+  tree.
+
+Both levels consume the policy RNG identically, so an in-memory insert
+and a disk insert with the same seed make the same choices.
 """
 
 from __future__ import annotations
@@ -25,34 +39,57 @@ SplitPolicy = Callable[..., tuple[list[int], list[int]]]
 # ----------------------------------------------------------------------
 # Insertion: choose a child index for a new graph
 # ----------------------------------------------------------------------
-def choose_child_random(
-    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+def choose_closure_random(
+    closures: Sequence[GraphClosure], graph: GraphLike, mapper: Mapper,
+    rng: random.Random,
 ) -> int:
     """Uniformly random child."""
-    return rng.randrange(node.fanout)
+    return rng.randrange(len(closures))
 
 
-def choose_child_min_volume(
-    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+def fold_choice_min_volume(
+    closures: Sequence[GraphClosure], graph: GraphLike, mapper: Mapper,
+    rng: random.Random,
+) -> tuple[int, GraphClosure]:
+    """:func:`choose_closure_min_volume`, additionally returning the
+    chosen child's enlarged closure so a caller that descends the tree
+    can reuse the mapping instead of folding the graph a second time.
+
+    Folding a graph into a closure can only grow it, so a zero volume
+    increase is a global minimum; scanning in order and returning the
+    first zero yields the same child as the full scan (ties break on
+    the lowest index either way) while skipping the remaining mappings.
+    On a saturated tree most inserts hit such a child early, which is
+    what keeps append cost flat as the database grows.
+    """
+    best_index, best_increase = 0, float("inf")
+    best_enlarged: GraphClosure | None = None
+    for i, closure in enumerate(closures):
+        enlarged = mapper(closure, graph).closure()
+        increase = enlarged.log_volume() - closure.log_volume()
+        if increase <= 0.0:
+            return i, enlarged
+        if increase < best_increase:
+            best_index, best_increase, best_enlarged = i, increase, enlarged
+    assert best_enlarged is not None
+    return best_index, best_enlarged
+
+
+def choose_closure_min_volume(
+    closures: Sequence[GraphClosure], graph: GraphLike, mapper: Mapper,
+    rng: random.Random,
 ) -> int:
     """The child whose closure grows the least in (log-)volume when the
     graph is added — the paper's default (linear in the fanout)."""
-    best_index, best_increase = 0, float("inf")
-    for i, child in enumerate(node.children):
-        closure = CTreeNode.child_closure(child)
-        enlarged = mapper(closure, graph).closure()
-        increase = enlarged.log_volume() - closure.log_volume()
-        if increase < best_increase:
-            best_index, best_increase = i, increase
-    return best_index
+    return fold_choice_min_volume(closures, graph, mapper, rng)[0]
 
 
-def choose_child_min_overlap(
-    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+def choose_closure_min_overlap(
+    closures: Sequence[GraphClosure], graph: GraphLike, mapper: Mapper,
+    rng: random.Random,
 ) -> int:
     """The child whose enlargement least increases its similarity overlap
     with its siblings (quadratic in the fanout)."""
-    closures = [CTreeNode.child_closure(c) for c in node.children]
     best_index, best_increase = 0, float("inf")
     for i, closure in enumerate(closures):
         enlarged = mapper(closure, graph).closure()
@@ -68,31 +105,63 @@ def choose_child_min_overlap(
     return best_index
 
 
+def choose_child_random(
+    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+) -> int:
+    """Uniformly random child."""
+    return rng.randrange(node.fanout)
+
+
+def choose_child_min_volume(
+    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+) -> int:
+    """The child whose closure grows the least in (log-)volume when the
+    graph is added — the paper's default (linear in the fanout)."""
+    closures = [CTreeNode.child_closure(c) for c in node.children]
+    return choose_closure_min_volume(closures, graph, mapper, rng)
+
+
+def choose_child_min_overlap(
+    node: CTreeNode, graph: GraphLike, mapper: Mapper, rng: random.Random
+) -> int:
+    """The child whose enlargement least increases its similarity overlap
+    with its siblings (quadratic in the fanout)."""
+    closures = [CTreeNode.child_closure(c) for c in node.children]
+    return choose_closure_min_overlap(closures, graph, mapper, rng)
+
+
 INSERT_POLICIES: dict[str, InsertPolicy] = {
     "random": choose_child_random,
     "min_volume": choose_child_min_volume,
     "min_overlap": choose_child_min_overlap,
 }
 
+#: the same policies over bare closure lists (the disk insert path)
+CLOSURE_INSERT_POLICIES: dict[str, InsertPolicy] = {
+    "random": choose_closure_random,
+    "min_volume": choose_closure_min_volume,
+    "min_overlap": choose_closure_min_overlap,
+}
+
 
 # ----------------------------------------------------------------------
 # Splitting: partition child indices into two groups
 # ----------------------------------------------------------------------
-def split_random(
-    children: Sequence[Child],
+def partition_closures_random(
+    closures: Sequence[GraphClosure],
     mapper: Mapper,
     rng: random.Random,
     min_fanout: int,
 ) -> tuple[list[int], list[int]]:
     """Random even partition."""
-    indices = list(range(len(children)))
+    indices = list(range(len(closures)))
     rng.shuffle(indices)
     half = len(indices) // 2
     return (indices[:half], indices[half:])
 
 
-def split_linear(
-    children: Sequence[Child],
+def partition_closures_linear(
+    closures: Sequence[GraphClosure],
     mapper: Mapper,
     rng: random.Random,
     min_fanout: int,
@@ -106,8 +175,6 @@ def split_linear(
 
     Cost: 3 distance sweeps, i.e. linear in the fanout.
     """
-    closures = [CTreeNode.child_closure(c) for c in children]
-
     def distance(a: GraphClosure, b: GraphClosure) -> float:
         return mapper(a, b).edit_cost()
 
@@ -123,8 +190,8 @@ def split_linear(
     return (order[:half], order[half:])
 
 
-def split_optimal(
-    children: Sequence[Child],
+def partition_closures_optimal(
+    closures: Sequence[GraphClosure],
     mapper: Mapper,
     rng: random.Random,
     min_fanout: int,
@@ -134,10 +201,9 @@ def split_optimal(
     Exponential in the fanout; refuse beyond 16 children.  Provided for the
     ablation study and for correctness tests on tiny trees.
     """
-    n = len(children)
+    n = len(closures)
     if n > 16:
         raise ConfigError(f"optimal split limited to 16 children, got {n}")
-    closures = [CTreeNode.child_closure(c) for c in children]
 
     def group_log_volume(indices: tuple[int, ...]) -> float:
         closure = closures[indices[0]].copy()
@@ -167,14 +233,57 @@ def split_optimal(
     return best
 
 
+def split_random(
+    children: Sequence[Child],
+    mapper: Mapper,
+    rng: random.Random,
+    min_fanout: int,
+) -> tuple[list[int], list[int]]:
+    """Random even partition."""
+    closures = [CTreeNode.child_closure(c) for c in children]
+    return partition_closures_random(closures, mapper, rng, min_fanout)
+
+
+def split_linear(
+    children: Sequence[Child],
+    mapper: Mapper,
+    rng: random.Random,
+    min_fanout: int,
+) -> tuple[list[int], list[int]]:
+    """Linear pivot partitioning over a node's children (see
+    :func:`partition_closures_linear`)."""
+    closures = [CTreeNode.child_closure(c) for c in children]
+    return partition_closures_linear(closures, mapper, rng, min_fanout)
+
+
+def split_optimal(
+    children: Sequence[Child],
+    mapper: Mapper,
+    rng: random.Random,
+    min_fanout: int,
+) -> tuple[list[int], list[int]]:
+    """Exhaustive volume-minimizing partition over a node's children
+    (see :func:`partition_closures_optimal`)."""
+    closures = [CTreeNode.child_closure(c) for c in children]
+    return partition_closures_optimal(closures, mapper, rng, min_fanout)
+
+
 SPLIT_POLICIES: dict[str, SplitPolicy] = {
     "random": split_random,
     "linear": split_linear,
     "optimal": split_optimal,
 }
 
+#: the same policies over bare closure lists (the disk insert path)
+CLOSURE_SPLIT_POLICIES: dict[str, SplitPolicy] = {
+    "random": partition_closures_random,
+    "linear": partition_closures_linear,
+    "optimal": partition_closures_optimal,
+}
+
 
 def resolve_insert_policy(name: str) -> InsertPolicy:
+    """Look up a node-level insert policy by name."""
     try:
         return INSERT_POLICIES[name]
     except KeyError:
@@ -184,9 +293,51 @@ def resolve_insert_policy(name: str) -> InsertPolicy:
 
 
 def resolve_split_policy(name: str) -> SplitPolicy:
+    """Look up a node-level split policy by name."""
     try:
         return SPLIT_POLICIES[name]
     except KeyError:
         raise ConfigError(
             f"unknown split policy {name!r}; choose from {sorted(SPLIT_POLICIES)}"
+        ) from None
+
+
+def resolve_closure_insert_policy(name: str) -> InsertPolicy:
+    """Look up a closure-level insert policy by name (disk insert path)."""
+    try:
+        return CLOSURE_INSERT_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown insert policy {name!r}; choose from "
+            f"{sorted(CLOSURE_INSERT_POLICIES)}"
+        ) from None
+
+
+def resolve_fold_choice_policy(name: str) -> Callable:
+    """Resolve an insert policy to its fold-reusing closure-level form:
+    ``(closures, graph, mapper, rng) -> (index, enlarged_or_None)``.
+
+    Policies with a native fold-returning variant (currently
+    ``min_volume``) hand back the chosen child's enlarged closure so
+    the caller skips one mapping per descent level; the rest fall back
+    to the plain choice with ``None``, and the caller folds itself.
+    """
+    if name == "min_volume":
+        return fold_choice_min_volume
+    choose = resolve_closure_insert_policy(name)
+
+    def fallback(closures, graph, mapper, rng):
+        return choose(closures, graph, mapper, rng), None
+
+    return fallback
+
+
+def resolve_closure_split_policy(name: str) -> SplitPolicy:
+    """Look up a closure-level split policy by name (disk insert path)."""
+    try:
+        return CLOSURE_SPLIT_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown split policy {name!r}; choose from "
+            f"{sorted(CLOSURE_SPLIT_POLICIES)}"
         ) from None

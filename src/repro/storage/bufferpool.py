@@ -102,10 +102,12 @@ class BufferPool:
     # ------------------------------------------------------------------
     @property
     def pagefile(self) -> PageFile:
+        """The underlying page file."""
         return self._file
 
     @property
     def wal(self) -> Optional[WriteAheadLog]:
+        """The attached write-ahead log, if durability is on."""
         return self._wal
 
     def get(self, page_id: int) -> bytes:
@@ -169,6 +171,7 @@ class BufferPool:
             raise
 
     def unpin(self, page_id: int) -> None:
+        """Release one pin; the frame becomes evictable at zero."""
         count = self._pins.get(page_id, 0)
         if count <= 0:
             raise PersistenceError(f"page {page_id} is not pinned")
@@ -179,6 +182,7 @@ class BufferPool:
             self._pins[page_id] = count - 1
 
     def pin_count(self, page_id: int) -> int:
+        """How many times the page is currently pinned."""
         return self._pins.get(page_id, 0)
 
     # ------------------------------------------------------------------
@@ -244,12 +248,15 @@ class BufferPool:
                 self.writebacks += 1
                 self._c_writebacks.value += 1
 
-    def flush(self) -> None:
+    def flush(self, note: bytes = b"") -> None:
         """Write every dirty page back and sync the file.
 
         In logged mode this is a full checkpoint (commit point included);
         on return the page file alone holds the complete state and the
-        WAL is empty.
+        WAL is empty.  ``note`` is carried on the COMMIT record
+        (diagnostic only — see :meth:`WriteAheadLog.commit
+        <repro.storage.wal.WriteAheadLog.commit>`); a group commit stamps
+        the whole staged batch with one note here.
         """
         if self._wal is None:
             for page_id, (data, dirty) in self._pages.items():
@@ -260,9 +267,9 @@ class BufferPool:
                     self._pages[page_id] = (data, False)
             self._file.flush()
             return
-        self._checkpoint()
+        self._checkpoint(note)
 
-    def _checkpoint(self) -> None:
+    def _checkpoint(self, note: bytes = b"") -> None:
         wal = self._wal
         dirty_cached = [
             (pid, data) for pid, (data, dirty) in self._pages.items() if dirty
@@ -279,7 +286,7 @@ class BufferPool:
                 self._wal_images[pid] = (lsn, offset)
             wal.append_header(*self._file.header_state())
             # 2. The commit point.
-            commit_lsn = wal.commit()
+            commit_lsn = wal.commit(note)
             # 3. Transfer the latest image of every logged page.
             for pid, (lsn, offset) in sorted(self._wal_images.items()):
                 cached = self._pages.get(pid)
@@ -300,6 +307,7 @@ class BufferPool:
         self._c_checkpoints.value += 1
 
     def close(self) -> None:
+        """Flush everything and close the WAL and page file."""
         self.flush()
         if self._wal is not None:
             self._wal.close()

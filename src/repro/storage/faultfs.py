@@ -59,6 +59,7 @@ class FaultPlan:
     seed: int = 0
 
     def describe(self) -> str:
+        """Human-readable one-liner of the fault plan."""
         mode = "torn" if self.partial_writes else "lost"
         return f"crash_at_op={self.crash_at_op} ({mode} write, seed={self.seed})"
 
@@ -98,6 +99,7 @@ class FaultInjector:
         )
 
     def on_write(self, fh, data: bytes) -> int:
+        """A counted write: may tear the payload and crash."""
         self._check_alive()
         self.ops += 1
         if self.plan.crash_at_op is not None \
@@ -110,6 +112,7 @@ class FaultInjector:
         return fh.write(data)
 
     def on_fsync(self, fh) -> None:
+        """A counted fsync: may crash before the barrier lands."""
         self._check_alive()
         self.ops += 1
         if self.plan.crash_at_op is not None \
@@ -130,12 +133,15 @@ class FaultyFile:
 
     # -- injected operations ------------------------------------------
     def write(self, data: bytes) -> int:
+        """Write through the injector (torn-write/crash point)."""
         return self._injector.on_write(self._fh, data)
 
     def fsync(self) -> None:
+        """Fsync through the injector (crash point)."""
         self._injector.on_fsync(self._fh)
 
     def truncate(self, size: Optional[int] = None) -> int:
+        """Truncate through the injector (counted crash point)."""
         self._injector._check_alive()
         self._injector.ops += 1
         if self._injector.plan.crash_at_op is not None \
@@ -145,31 +151,38 @@ class FaultyFile:
 
     # -- pass-through --------------------------------------------------
     def read(self, size: int = -1) -> bytes:
+        """Pass-through read (cannot corrupt anything)."""
         self._injector._check_alive()
         return self._fh.read(size)
 
     def seek(self, offset: int, whence: int = 0) -> int:
+        """Pass-through seek."""
         self._injector._check_alive()
         return self._fh.seek(offset, whence)
 
     def tell(self) -> int:
+        """Pass-through tell."""
         return self._fh.tell()
 
     def flush(self) -> None:
+        """No-op: the underlying file is unbuffered."""
         # Unbuffered underlying file: flush is a no-op, and must not be an
         # injection point (it gives no durability in the model).
         self._injector._check_alive()
 
     def fileno(self) -> int:
+        """Pass-through file descriptor."""
         return self._fh.fileno()
 
     def close(self) -> None:
+        """Close the underlying handle (flushes nothing extra)."""
         # Closing never flushes anything extra (unbuffered), so a dead
         # process's abandoned handles can be collected safely.
         self._fh.close()
 
     @property
     def closed(self) -> bool:
+        """Whether the underlying handle is closed."""
         return self._fh.closed
 
     def __repr__(self) -> str:

@@ -60,6 +60,7 @@ _MIN_PAGE_SIZE = 64
 
 
 def default_opener(path: PathLike, mode: str):
+    """Plain ``open`` — swapped out by fault-injecting tests."""
     return open(path, mode)
 
 
@@ -175,6 +176,7 @@ class PageFile:
 
     @property
     def header_dirty(self) -> bool:
+        """Whether the in-memory header has unwritten changes."""
         return self._header_dirty
 
     @property
@@ -184,6 +186,7 @@ class PageFile:
 
     @last_lsn.setter
     def last_lsn(self, value: int) -> None:
+        """Stage a new checkpoint LSN; written on the next flush."""
         self._last_lsn = value
         self._header_dirty = True
 
@@ -195,6 +198,7 @@ class PageFile:
 
     @user_root.setter
     def user_root(self, value: int) -> None:
+        """Set the client root pointer and persist the header."""
         self._check_open()
         self._user_root = value
         self._write_header()
@@ -333,12 +337,14 @@ class PageFile:
             os.fsync(self._fh.fileno())
 
     def flush(self) -> None:
+        """Write the header (unless deferred) and fsync the file."""
         self._check_open()
         if not self.defer_header:
             self._write_header()
         self._fsync()
 
     def close(self) -> None:
+        """Persist the header (unless deferred) and close the file."""
         if not self._closed:
             if not self.defer_header:
                 self._write_header()
@@ -348,6 +354,7 @@ class PageFile:
 
     @property
     def closed(self) -> bool:
+        """Whether the file has been closed."""
         return self._closed
 
     def __enter__(self) -> "PageFile":

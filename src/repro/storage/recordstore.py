@@ -34,6 +34,7 @@ class RecordStore:
 
     @property
     def pool(self) -> BufferPool:
+        """The buffer pool all record I/O goes through."""
         return self._pool
 
     # ------------------------------------------------------------------
@@ -68,6 +69,30 @@ class RecordStore:
             page_id = next_page
         return b"".join(parts)
 
+    def update(self, record_id: int, data: bytes) -> int:
+        """Rewrite a record in place, reusing its chain pages.
+
+        The head page is always kept, so the record id is stable — the
+        incremental disk-index insert relies on this to update a node
+        along the root-to-leaf path without touching its parent's child
+        pointer.  Extra pages are allocated (free list first) when the
+        record grows; surplus pages are freed when it shrinks.  Returns
+        the (unchanged) record id.
+        """
+        old_pages = self.chain_pages(record_id)
+        chunks = self._split(data)
+        page_ids = old_pages[:len(chunks)]
+        while len(page_ids) < len(chunks):
+            page_ids.append(self._pool.allocate())
+        for index, chunk in enumerate(chunks):
+            next_page = page_ids[index + 1] if index + 1 < len(page_ids) \
+                else NO_PAGE
+            header = _CHAIN_HEADER.pack(next_page, len(chunk))
+            self._pool.put(page_ids[index], header + chunk)
+        for page_id in old_pages[len(chunks):]:
+            self._pool.free(page_id)
+        return page_ids[0]
+
     def delete(self, record_id: int) -> None:
         """Free every page of a record."""
         for page_id in self.chain_pages(record_id):
@@ -98,4 +123,5 @@ class RecordStore:
         return [data[i:i + capacity] for i in range(0, len(data), capacity)]
 
     def store_many(self, records: Iterable[bytes]) -> list[int]:
+        """Store several records; returns their ids in order."""
         return [self.store(r) for r in records]

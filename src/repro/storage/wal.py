@@ -18,7 +18,9 @@ Log layout::
 
 ``crc32`` covers everything after itself, so a torn tail is detected and
 discarded.  Record kinds: ``PAGE`` (full after-image), ``HEADER`` (the
-page file's ``(page_count, free_head, user_root)``), ``COMMIT``.
+page file's ``(page_count, free_head, user_root)``), ``COMMIT`` (payload:
+an optional diagnostic note naming the logical operation — recovery keys
+on the kind alone, so old and new logs replay identically).
 
 All appends, commits, truncations and recoveries are counted in the
 process-wide metrics registry under ``wal.*`` / ``recovery.*``.
@@ -73,6 +75,8 @@ def needs_recovery(pagefile_path: PathLike,
 
 @dataclass
 class WALRecord:
+    """One decoded log record (a page image, commit, or note)."""
+
     kind: int
     lsn: int
     page_id: int
@@ -81,6 +85,7 @@ class WALRecord:
 
     @property
     def kind_name(self) -> str:
+        """Symbolic name of the record kind, for diagnostics."""
         return _KIND_NAMES.get(self.kind, f"kind{self.kind}")
 
 
@@ -142,6 +147,7 @@ class WriteAheadLog:
     def open_or_create(cls, path: PathLike, page_size: int,
                        start_lsn: int = 1,
                        opener: Optional[Opener] = None) -> "WriteAheadLog":
+        """Open an existing WAL (validating its page size) or create one."""
         p = Path(path)
         if p.exists() and p.stat().st_size >= _WAL_HEADER.size:
             wal = cls.open(path, start_lsn=start_lsn, opener=opener)
@@ -157,10 +163,12 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     @property
     def next_lsn(self) -> int:
+        """The LSN the next appended record will get."""
         return self._next_lsn
 
     @property
     def last_lsn(self) -> int:
+        """The LSN of the most recently appended record."""
         return self._next_lsn - 1
 
     @property
@@ -170,6 +178,7 @@ class WriteAheadLog:
 
     @property
     def empty(self) -> bool:
+        """Whether the log holds no records at all."""
         return self._end <= _WAL_HEADER.size
 
     # ------------------------------------------------------------------
@@ -203,14 +212,27 @@ class WriteAheadLog:
         lsn, _ = self._append(REC_HEADER, 0, payload)
         return lsn
 
-    def commit(self) -> int:
-        """Append a COMMIT record and make everything before it durable."""
-        lsn, _ = self._append(REC_COMMIT, 0, b"")
+    def commit(self, note: bytes = b"") -> int:
+        """Append a COMMIT record and make everything before it durable.
+
+        ``note`` is an optional short annotation carried in the COMMIT
+        payload (e.g. ``b"extend gen=3 graphs=5"`` from a group commit).
+        Recovery keys on the record *kind* only, so the payload is purely
+        diagnostic — ``repro fsck``/log forensics can attribute a commit
+        to the logical operation that produced it.
+        """
+        if len(note) > self.page_size:
+            raise WALError(
+                f"commit note of {len(note)} bytes exceeds page size "
+                f"{self.page_size}"
+            )
+        lsn, _ = self._append(REC_COMMIT, 0, note)
         self.sync()
         self._c_commits.value += 1
         return lsn
 
     def sync(self) -> None:
+        """Flush and fsync the log file (the durability barrier)."""
         self._check_open()
         self._fh.flush()
         fsync = getattr(self._fh, "fsync", None)
@@ -267,6 +289,7 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Flush and close the log file."""
         if not self._closed:
             self._fh.flush()
             self._fh.close()
@@ -307,6 +330,7 @@ class RecoveryReport:
     notes: list[str] = field(default_factory=list)
 
     def summary(self) -> str:
+        """Human-readable one-liner of what recovery did."""
         parts = [f"{self.path}: {self.action}"]
         if self.action == "replayed":
             parts.append(f"{self.replayed_pages} pages to LSN "

@@ -1,15 +1,19 @@
 """Crash-recovery sweep: kill the process-model at every injection point
 of a create+append workload, recover, and require bit-identical answers.
 
-For every crash point the recovered index must land on a *committed
-generation* (1 = after create, 2 = after append — or the empty pre-commit
-state), pass a deep ``fsck``, and answer subgraph and k-NN queries
-exactly like an uncrashed oracle of that generation.
+The workload commits three generations: 1 = bulk-loaded create, 2 = an
+incremental batch ``extend`` (path-local splits under one group
+commit), 3 = a single-graph incremental ``append`` — so every
+injection point along the new insert/split/group-commit WAL traffic is
+swept.  For every crash point the recovered index must land on a
+*committed generation* (or the empty pre-commit state), pass a deep
+``fsck``, and answer subgraph and k-NN queries exactly like an
+uncrashed oracle of that generation.
 
-The full sweep (~700 points) runs in CI under ``REPRO_CRASH_SWEEP=full``;
-by default a deterministic sample keeps the tier-1 run fast.  Every test
-here is marked ``crash`` so CI can schedule the sweep separately
-(``-m crash`` / ``-m "not crash"``).
+The full sweep runs in CI under ``REPRO_CRASH_SWEEP=full``; by default
+a deterministic sample keeps the tier-1 run fast.  Every test here is
+marked ``crash`` so CI can schedule the sweep separately (``-m crash``
+/ ``-m "not crash"``).
 """
 
 import os
@@ -29,8 +33,10 @@ _EXTRA = generate_chemical_database(6, seed=9, config=_CONFIG)
 _QUERIES = [_BASE[3], _EXTRA[2], _BASE[0]]
 
 
-def _build(path, opener=None, append=True):
-    """The workload under test: create generation 1, append generation 2.
+def _build(path, opener=None, upto=3):
+    """The workload under test: create generation 1, incrementally
+    extend generation 2 (a batch under one group commit, forcing node
+    splits at max_fanout=4), append generation 3 (single graph).
 
     A tiny page size and cache force WAL spills, free-list churn and
     multi-page record chains — the paths a crash must not corrupt.
@@ -38,8 +44,10 @@ def _build(path, opener=None, append=True):
     tree = bulk_load(_BASE, min_fanout=2, max_fanout=4)
     disk = DiskCTree.create(tree, path, page_size=256, cache_pages=6,
                             opener=opener)
-    if append:
-        disk.append(_EXTRA)
+    if upto >= 2:
+        disk.extend(_EXTRA[:5])
+    if upto >= 3:
+        disk.append([_EXTRA[5]])
     disk.close()
 
 
@@ -58,14 +66,14 @@ def _answers(path):
 
 @pytest.fixture(scope="module")
 def oracle(tmp_path_factory):
-    """Uncrashed reference answers for both committed generations."""
+    """Uncrashed reference answers for every committed generation."""
     root = tmp_path_factory.mktemp("oracle")
-    _build(root / "g1.ctp", append=False)
-    _build(root / "g2.ctp", append=True)
-    return {
-        1: _answers(root / "g1.ctp")[1],
-        2: _answers(root / "g2.ctp")[1],
-    }
+    answers = {}
+    for generation in (1, 2, 3):
+        path = root / f"g{generation}.ctp"
+        _build(path, upto=generation)
+        answers[generation] = _answers(path)[1]
+    return answers
 
 
 def _sweep_points():
@@ -106,7 +114,7 @@ class TestCrashSweep:
             # Recovered to the pre-first-commit empty state.
             return
         generation, fingerprint = _answers(path)
-        assert generation in (1, 2)
+        assert generation in (1, 2, 3)
         assert fingerprint == oracle[generation], (
             f"crash at op {crash_at}/{_TOTAL_OPS}: generation "
             f"{generation} answers diverge from the uncrashed oracle"

@@ -256,36 +256,123 @@ class TestRegistryMerge:
 
 
 # ----------------------------------------------------------------------
-# DiskCTree.extend: one rebuild per batch
+# DiskCTree.extend: incremental inserts, zero rebuilds, one group commit
 # ----------------------------------------------------------------------
-class TestExtendRebuilds:
-    def _rebuilds(self) -> float:
-        return global_registry().counter("ctree.disk.rebuilds").value
+class TestExtendIncremental:
+    def _counter(self, name: str) -> float:
+        return global_registry().counter(name).value
 
-    def test_extend_rebuilds_once_per_batch(self, golden_db, tmp_path):
+    def test_extend_never_rebuilds(self, golden_db, tmp_path):
+        """The append path is incremental: rebuilds stay pinned at 0, each
+        graph counts one incremental insert, and each batch counts one
+        group commit."""
         tree = bulk_load(golden_db[:6], min_fanout=3)
         with DiskCTree.create(tree, tmp_path / "x.ctp",
                               page_size=512) as disk:
             gen0 = disk.generation
-            start = self._rebuilds()
+            rebuilds = self._counter("ctree.disk.rebuilds")
+            inserts = self._counter("ctree.disk.incremental_inserts")
+            commits = self._counter("ctree.disk.group_commits")
             disk.extend(golden_db[6:9])
-            assert self._rebuilds() - start == 1
+            assert self._counter("ctree.disk.rebuilds") == rebuilds
+            assert self._counter("ctree.disk.incremental_inserts") \
+                - inserts == 3
+            assert self._counter("ctree.disk.group_commits") - commits == 1
             assert disk.generation == gen0 + 1
             assert len(disk) == 9
 
-            start = self._rebuilds()
+            commits = self._counter("ctree.disk.group_commits")
             for g in golden_db[9:12]:
                 disk.append([g])
-            assert self._rebuilds() - start == 3
+            assert self._counter("ctree.disk.rebuilds") == rebuilds
+            assert self._counter("ctree.disk.group_commits") - commits == 3
             assert len(disk) == 12
+            stored = dict(disk.iter_graphs())
+            assert sorted(stored) == list(range(12))
+
+    def test_extend_matches_serial_answers(self, golden_db, golden_queries,
+                                           tmp_path):
+        """An incrementally extended index answers exactly like a
+        bulk-loaded linear scan over the same graphs."""
+        tree = bulk_load(golden_db[:6], min_fanout=3)
+        with DiskCTree.create(tree, tmp_path / "m.ctp",
+                              page_size=512) as disk:
+            disk.extend(golden_db[6:])
+            stored = dict(disk.iter_graphs())
+            from repro.matching.pseudo_iso import \
+                pseudo_compatibility_domains
+            from repro.matching.ullmann import subgraph_isomorphic
+            for q in golden_queries:
+                answers, _ = disk.subgraph_query(q)
+                expected = sorted(
+                    gid for gid, g in stored.items()
+                    if subgraph_isomorphic(
+                        q, g, pseudo_compatibility_domains(q, g, 1))
+                )
+                assert sorted(answers) == expected
+
+    def test_rebuild_escape_hatch(self, golden_db, tmp_path):
+        """``rebuild=True`` still runs (and counts) the legacy full
+        rebuild."""
+        tree = bulk_load(golden_db[:6], min_fanout=3)
+        with DiskCTree.create(tree, tmp_path / "r.ctp",
+                              page_size=512) as disk:
+            rebuilds = self._counter("ctree.disk.rebuilds")
+            disk.extend(golden_db[6:9], rebuild=True)
+            assert self._counter("ctree.disk.rebuilds") - rebuilds == 1
+            assert len(disk) == 9
+        report = DiskCTree.fsck(tmp_path / "r.ctp", deep=True)
+        assert report.clean, report.errors
+
+    def test_extend_passes_deep_fsck(self, golden_db, tmp_path):
+        tree = bulk_load(golden_db[:6], min_fanout=3)
+        path = tmp_path / "f.ctp"
+        with DiskCTree.create(tree, path, page_size=512) as disk:
+            disk.extend(golden_db[6:])
+        report = DiskCTree.fsck(path, deep=True)
+        assert report.clean, report.errors
 
     def test_extend_empty_batch_is_free(self, golden_db, tmp_path):
         tree = bulk_load(golden_db[:6], min_fanout=3)
         with DiskCTree.create(tree, tmp_path / "y.ctp",
                               page_size=512) as disk:
-            start = self._rebuilds()
+            commits = self._counter("ctree.disk.group_commits")
+            rebuilds = self._counter("ctree.disk.rebuilds")
             assert disk.extend([]) == []
-            assert self._rebuilds() == start
+            assert self._counter("ctree.disk.group_commits") == commits
+            assert self._counter("ctree.disk.rebuilds") == rebuilds
+
+
+# ----------------------------------------------------------------------
+# Engine refresh over a mutated disk index (epoch-based, no respawn)
+# ----------------------------------------------------------------------
+class TestDiskRefresh:
+    def test_refresh_keeps_pool_and_sees_appends(self, golden_db,
+                                                 golden_queries, tmp_path):
+        """After an incremental append + refresh, pre-forked workers
+        answer against the new generation without a pool respawn."""
+        tree = bulk_load(golden_db[:8], min_fanout=3)
+        path = tmp_path / "live.ctp"
+        extra = golden_db[8:]
+        with DiskCTree.create(tree, path, page_size=512,
+                              cache_pages=32) as disk:
+            with QueryEngine(disk, workers=2, cache_size=0).start() \
+                    as engine:
+                if engine._pool is None:
+                    pytest.skip("no fork start method on this platform")
+                engine.query_many(golden_queries)
+                pool = engine._pool
+                disk.extend(extra)
+                engine.refresh()
+                assert engine._pool is pool, "disk refresh must not respawn"
+                batch = engine.query_many(golden_queries + extra)
+                with DiskCTree.open(path, wal=False,
+                                    auto_recover=False) as fresh:
+                    serial = [fresh.subgraph_query(q)[0]
+                              for q in golden_queries + extra]
+                assert [a for a, _ in batch] == serial
+                # every appended graph matches itself in the new state
+                assert all(a for a, _ in batch[len(golden_queries):])
 
 
 # ----------------------------------------------------------------------
