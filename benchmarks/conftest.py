@@ -119,37 +119,42 @@ SERVER_BENCH_SCHEMA = "server-bench-v1"
 
 
 @dataclass(frozen=True)
-class AppendBenchConfig:
-    """Workload of the incremental-append benchmark (bench_append.py).
+class ChurnBenchConfig:
+    """Workload of the insert/delete churn benchmark (bench_churn.py).
 
-    One disk index is grown through the ``database_sizes`` buckets by
-    incremental ``extend`` batches; per-bucket append throughput is the
-    best of ``probe_repeats`` timed ``extend`` calls of ``probe_batch``
-    graphs each (min-of-N damps one-shot timing noise).  The gate pins
-    ``ctree.disk.rebuilds == 0`` over the whole run and requires the
-    last bucket's throughput to stay within ``min_flatness`` of the
-    first — the tentpole "append cost flat in |D|" property.
+    One disk index holds a steady ``|D| = database_size`` while
+    ``rounds`` rounds each delete ``churn_batch`` graphs and append
+    ``churn_batch`` fresh ones, every batch under one group commit.
+    The gates pin ``ctree.disk.rebuilds == 0`` over the whole run,
+    require the churned index to answer queries within
+    ``max_query_ratio`` of a fresh bulk load over the same surviving
+    set (min-of-``query_repeats`` sweeps damps timing noise; the
+    ``--quick`` floor is relaxed because smoke-scale timings are
+    noise-dominated), and require a forced degradation phase to show
+    the occupancy trigger (tightened to ``degrade_min_occupancy``)
+    firing an *automatic* compaction that restores occupancy.
     """
 
-    database_sizes: tuple = (150, 600, 2400)
-    probe_batch: int = 30
-    probe_repeats: int = 3
-    grow_batch: int = 75
-    min_fanout: int = 10
+    database_size: int = 400
+    rounds: int = 6
+    churn_batch: int = 40
+    queries: int = 6
+    query_repeats: int = 3
+    min_fanout: int = 4
     page_size: int = 2048
     cache_pages: int = 256
-    #: flatness floor; ``--quick`` uses the relaxed one — at smoke
-    #: scale the closures never saturate, so descent cannot
-    #: short-circuit and the curve is legitimately steeper.
-    min_flatness: float = 0.5
-    min_flatness_quick: float = 0.25
+    #: the degradation phase raises the handle's occupancy trigger to
+    #: this value so hollowed leaves (floor ~ m/M) look degraded
+    degrade_min_occupancy: float = 0.65
+    max_query_ratio: float = 1.2
+    max_query_ratio_quick: float = 3.0
     seed: int = 7
 
 
-#: Incremental-append workload (bench_append.py -> BENCH_append.json).
-APPEND = AppendBenchConfig()
-APPEND_BENCH_JSON = REPO_ROOT / "BENCH_append.json"
-APPEND_BENCH_SCHEMA = "append-bench-v1"
+#: Insert/delete churn workload (bench_churn.py -> BENCH_churn.json).
+CHURN = ChurnBenchConfig()
+CHURN_BENCH_JSON = REPO_ROOT / "BENCH_churn.json"
+CHURN_BENCH_SCHEMA = "churn-bench-v1"
 
 _QUICK = False
 #: figure name -> JSON-able series dict, flushed to BENCH_ctree.json
@@ -167,7 +172,7 @@ def pytest_addoption(parser):
 
 def pytest_configure(config):
     global _QUICK, CHEM_SWEEP, SYNTH_SWEEP, INDEX_SIZE, MAPPING_QUALITY, KNN
-    global ENGINE, SERVER, APPEND
+    global ENGINE, SERVER, CHURN
     if not config.getoption("--quick", default=False):
         return
     _QUICK = True
@@ -195,9 +200,8 @@ def pytest_configure(config):
         SERVER, database_size=60, unique_queries=6, requests=30,
         clients=4,
     )
-    APPEND = replace(
-        APPEND, database_sizes=(40, 80, 160), probe_batch=8,
-        grow_batch=40,
+    CHURN = replace(
+        CHURN, database_size=60, rounds=3, churn_batch=10, queries=3,
     )
 
 

@@ -42,11 +42,15 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.exceptions import ReproError
+from repro.exceptions import IndexError_, ReproError
 from repro.graphs.graph import Graph
 from repro.graphs.io import load_graph_database, save_graph_database
 from repro.ctree.bulkload import bulk_load
-from repro.ctree.diskindex import DiskCTree
+from repro.ctree.diskindex import (
+    DEFAULT_HEIGHT_SLACK,
+    DEFAULT_MIN_OCCUPANCY,
+    DiskCTree,
+)
 from repro.ctree.parallel import QueryEngine
 from repro.ctree.persistence import index_size_bytes, load_tree, save_tree
 from repro.ctree.similarity_query import knn_query, range_query
@@ -120,6 +124,58 @@ def cmd_append(args: argparse.Namespace) -> int:
             print("nothing to append")
         print(f"index now holds {len(disk)} graphs at generation "
               f"{disk.generation}, height {disk.height}")
+    return 0
+
+
+def cmd_delete(args: argparse.Namespace) -> int:
+    """Delete graphs from a ``.ctp`` disk index by id, incrementally,
+    under one group commit (with automatic compaction unless
+    ``--no-compact``)."""
+    if not args.index.endswith(".ctp"):
+        raise SystemExit("error: delete requires a .ctp disk index")
+    try:
+        ids = [int(token) for token in args.ids.replace(",", " ").split()]
+    except ValueError:
+        raise SystemExit(f"error: malformed id list {args.ids!r}") from None
+    if not ids:
+        raise SystemExit("error: no graph ids given")
+    with DiskCTree.open(args.index, cache_pages=args.cache_pages) as disk:
+        start = time.perf_counter()
+        try:
+            disk.delete_many(ids, seed=args.seed,
+                             auto_compact=not args.no_compact)
+        except IndexError_ as exc:
+            raise SystemExit(f"error: {exc}") from None
+        seconds = time.perf_counter() - start
+        print(f"deleted {len(ids)} graph(s) (one group commit) "
+              f"in {seconds:.2f}s")
+        print(f"index now holds {len(disk)} graphs at generation "
+              f"{disk.generation}, height {disk.height}, "
+              f"occupancy {disk.occupancy:.2f}")
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Repack a degraded ``.ctp`` disk index (no-op while the
+    occupancy/height triggers are healthy; ``--force`` overrides)."""
+    if not args.index.endswith(".ctp"):
+        raise SystemExit("error: compact requires a .ctp disk index")
+    with DiskCTree.open(args.index, cache_pages=args.cache_pages) as disk:
+        start = time.perf_counter()
+        reason = disk.compact(
+            seed=args.seed,
+            force=args.force,
+            min_occupancy=args.min_occupancy,
+            height_slack=args.height_slack,
+        )
+        seconds = time.perf_counter() - start
+        if reason is None:
+            print("no compaction needed "
+                  f"(occupancy {disk.occupancy:.2f}, height {disk.height})")
+        else:
+            print(f"compacted ({reason}) in {seconds:.2f}s: "
+                  f"occupancy {disk.occupancy:.2f}, height {disk.height}, "
+                  f"generation {disk.generation}")
     return 0
 
 
@@ -642,6 +698,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "incremental insert path")
     p.add_argument("--cache-pages", type=int, default=128)
     p.set_defaults(func=cmd_append)
+
+    p = sub.add_parser(
+        "delete",
+        help="delete graphs from a .ctp disk index by id "
+             "(one group commit per call)",
+    )
+    p.add_argument("-t", "--index", required=True, help="*.ctp disk index")
+    p.add_argument("--ids", required=True,
+                   help="graph ids to delete (comma or space separated)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="policy RNG seed for merge/redistribute choices")
+    p.add_argument("--no-compact", action="store_true",
+                   help="skip the automatic compaction check after the "
+                        "delete commits")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_delete)
+
+    p = sub.add_parser(
+        "compact",
+        help="repack a degraded .ctp disk index "
+             "(no-op while occupancy and height are healthy)",
+    )
+    p.add_argument("-t", "--index", required=True, help="*.ctp disk index")
+    p.add_argument("--force", action="store_true",
+                   help="repack even if no degradation trigger fires")
+    p.add_argument("--min-occupancy", type=float, default=None,
+                   help="occupancy trigger threshold (default "
+                        f"{DEFAULT_MIN_OCCUPANCY})")
+    p.add_argument("--height-slack", type=int, default=None,
+                   help="height trigger tolerance above the bulk-load "
+                        f"height (default {DEFAULT_HEIGHT_SLACK})")
+    p.add_argument("--seed", type=int, default=0,
+                   help="bulk-load RNG seed for the repack")
+    p.add_argument("--cache-pages", type=int, default=128)
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser("query", help="subgraph query against a saved index")
     p.add_argument("-t", "--tree", required=True,

@@ -25,6 +25,16 @@ siblings, never the rest of the tree.  A whole :meth:`extend` batch is
 append cost stays flat as the database grows (``ctree.disk.rebuilds``
 stays 0; the old full rebuild survives behind ``rebuild=True``).
 
+Deletes are incremental too (Section 5.4 against the stored records):
+:meth:`delete` / :meth:`delete_many` remove the leaf entry, shrink or
+keep each ancestor closure (recomputing only where the removed graph
+was load-bearing), and resolve underflow bottom-up by merging into or
+redistributing with a policy-chosen sibling — again one group commit
+per batch, freed pages returned to the free list.  A tree that churn
+has hollowed out is repacked by :meth:`compact`, which fires
+automatically when leaf occupancy or height degrades past the
+configured thresholds (``ctree.disk.compactions``).
+
 Usage::
 
     tree = bulk_load(graphs, ...)
@@ -45,7 +55,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.exceptions import ChecksumError, PersistenceError
+from repro.exceptions import ChecksumError, IndexError_, PersistenceError
 from repro.graphs.closure import GraphClosure, as_closure
 from repro.graphs.graph import Graph
 from repro.graphs.histogram import LabelHistogram
@@ -61,8 +71,14 @@ from repro.matching.pseudo_iso import (
 from repro.matching.ullmann import subgraph_isomorphic
 from repro.obs import trace
 from repro.obs.metrics import global_registry
-from repro.ctree.node import CTreeNode, LeafEntry, fold_closure
+from repro.ctree.node import (
+    CTreeNode,
+    LeafEntry,
+    fold_closure,
+    fold_closure_set,
+)
 from repro.ctree.policies import (
+    choose_merge_sibling,
     resolve_closure_split_policy,
     resolve_fold_choice_policy,
 )
@@ -82,6 +98,14 @@ from repro.storage.wal import (
 _FORMAT = 2
 
 _U64 = struct.Struct("<Q")
+
+#: Compaction fires when live entries fill less than this fraction of
+#: the leaf level's capacity (``graph_count / (leaf_count * max_fanout)``).
+DEFAULT_MIN_OCCUPANCY = 0.4
+
+#: ... or when the tree stands more than this many levels above the
+#: height a fresh bulk load of the same graph count would reach.
+DEFAULT_HEIGHT_SLACK = 1
 
 
 class DiskQueryStats(QueryStats):
@@ -148,6 +172,7 @@ class FsckReport:
     reachable_pages: int = 0
     free_pages: int = 0
     nodes: int = 0
+    leaves: int = 0
     graphs: int = 0
     generation: int = 0
 
@@ -211,6 +236,11 @@ class DiskCTree:
         self._meta = meta
         self._path = path
         self._closed = False
+        #: Compaction-trigger knobs (see :meth:`compaction_needed`),
+        #: per handle so a long-lived writer can tune how eagerly
+        #: ``auto_compact`` repacks its churn.
+        self.min_occupancy = DEFAULT_MIN_OCCUPANCY
+        self.height_slack = DEFAULT_HEIGHT_SLACK
 
     # ------------------------------------------------------------------
     # Construction / opening
@@ -298,17 +328,22 @@ class DiskCTree:
         return cls(store, meta, path=path)
 
     @staticmethod
-    def _write_tree(store: RecordStore, tree: CTree,
-                    generation: int) -> tuple[dict, int]:
+    def _write_tree(store: RecordStore, tree: CTree, generation: int,
+                    next_id: Optional[int] = None) -> tuple[dict, int]:
         """Write every node and graph of ``tree`` as records; returns
         ``(meta, meta_record_id)``.  Nothing is durable until the
-        enclosing checkpoint."""
+        enclosing checkpoint.  ``next_id`` overrides the id watermark
+        recorded in the metadata (a compaction preserves the old
+        watermark so freed ids are never reissued)."""
+        leaves = 0
 
         def write_node(node: CTreeNode) -> int:
+            nonlocal leaves
             record: dict = {"leaf": node.is_leaf}
             if node.closure is not None:
                 record["closure"] = node.closure.to_dict()
             if node.is_leaf:
+                leaves += 1
                 graphs = []
                 for child in node.children:
                     assert isinstance(child, LeafEntry)
@@ -329,11 +364,18 @@ class DiskCTree:
             )
 
         root_record = write_node(tree.root)
+        if next_id is None:
+            next_id = 1 + max(
+                (e.graph_id for e in tree.root.iter_leaf_entries()),
+                default=-1,
+            )
         meta = {
             "format": _FORMAT,
             "root": root_record,
             "graph_count": len(tree),
+            "next_id": next_id,
             "height": tree.height(),
+            "leaf_count": leaves,
             "generation": generation,
             "config": {
                 "min_fanout": tree.min_fanout,
@@ -402,7 +444,11 @@ class DiskCTree:
         min_fanout = config.get("min_fanout", 20)
         max_fanout = config.get("max_fanout") or 2 * min_fanout - 1
         rng = random.Random(seed)
-        first_new = self._meta.get("graph_count", 0)
+        # New ids come from the monotone watermark, not the live count:
+        # after deletes the live ids are sparse and the count would
+        # collide with a surviving graph.
+        first_new = self._next_id_watermark()
+        self._ensure_leaf_count()
         inserts = reg.counter("ctree.disk.incremental_inserts")
         generation = self._meta.get("generation", 1) + 1
         with trace.span("ctree.disk.extend", graphs=len(new_graphs),
@@ -411,7 +457,9 @@ class DiskCTree:
                 self._insert_one(first_new + offset, graph, mapper, choose,
                                  partition, min_fanout, max_fanout, rng)
                 inserts.value += 1
-            self._meta["graph_count"] = first_new + len(new_graphs)
+            self._meta["graph_count"] = \
+                self._meta.get("graph_count", 0) + len(new_graphs)
+            self._meta["next_id"] = first_new + len(new_graphs)
             self._meta["generation"] = generation
             self._write_meta()
             note = (f"extend gen={generation} "
@@ -422,19 +470,28 @@ class DiskCTree:
 
     def _extend_rebuild(self, new_graphs: list[Graph],
                         seed: int) -> list[int]:
-        """The legacy append: re-bulk-load everything (ids preserved —
-        :func:`~repro.ctree.bulkload.bulk_load` numbers input order),
-        free the old records, write the new generation."""
+        """The legacy append: re-bulk-load everything (live ids
+        preserved), free the old records, write the new generation."""
+        global_registry().counter("ctree.disk.rebuilds").inc()
+        items = sorted(self.iter_graphs(), key=lambda item: item[0])
+        first_new = self._next_id_watermark()
+        new_ids = list(range(first_new, first_new + len(new_graphs)))
+        items.extend(zip(new_ids, new_graphs))
+        self._rebuild_records(items, seed, next_id=first_new
+                              + len(new_graphs), note_kind="rebuild")
+        return new_ids
+
+    def _rebuild_records(self, items: list[tuple[int, Graph]], seed: int,
+                         next_id: int, note_kind: str) -> None:
+        """Replace every stored record with a fresh bulk load of
+        ``items`` (``(graph_id, graph)`` pairs, ids preserved) under one
+        commit — the shared engine behind ``rebuild=True`` and
+        :meth:`compact`."""
         from repro.ctree.bulkload import bulk_load
 
-        global_registry().counter("ctree.disk.rebuilds").inc()
-        existing = dict(self.iter_graphs())
-        ordered = [existing[gid] for gid in sorted(existing)]
-        first_new = len(ordered)
-        ordered.extend(new_graphs)
         config = self._meta.get("config", {})
         tree = bulk_load(
-            ordered,
+            [graph for _, graph in items],
             min_fanout=config.get("min_fanout", 20),
             max_fanout=config.get("max_fanout"),
             mapping_method=config.get("mapping_method", "nbm"),
@@ -442,15 +499,19 @@ class DiskCTree:
             split_policy=config.get("split_policy", "linear"),
             seed=seed,
         )
+        # bulk_load numbers graphs by input position; remap each leaf
+        # entry back to the id the graph already holds on disk.
+        for entry in tree.root.iter_leaf_entries():
+            entry.graph_id = items[entry.graph_id][0]
         old_records = self._collect_record_ids()
         generation = self._meta.get("generation", 1) + 1
         for record_id in old_records:
             self._store.delete(record_id)
-        meta, meta_record = self._write_tree(self._store, tree, generation)
+        meta, meta_record = self._write_tree(self._store, tree, generation,
+                                             next_id=next_id)
         self._store.pool.pagefile.user_root = meta_record
         self._meta = meta
-        self.checkpoint(note=f"rebuild gen={generation}".encode("ascii"))
-        return list(range(first_new, len(ordered)))
+        self.checkpoint(note=f"{note_kind} gen={generation}".encode("ascii"))
 
     # -- incremental insertion (Section 5 against stored records) ------
     @staticmethod
@@ -519,6 +580,9 @@ class DiskCTree:
                                                 min_fanout, rng)
                 splits.value += 1
                 dirty[i] = True
+                if rec["leaf"]:
+                    self._meta["leaf_count"] = \
+                        self._meta.get("leaf_count", 0) + 1
             # Persist before the parent is processed: a parent split
             # reads child closures back from the store.  Ancestors whose
             # closure already absorbed the graph are left untouched, so
@@ -550,9 +614,8 @@ class DiskCTree:
                 raise PersistenceError("split policy produced an empty group")
 
             def fold_group(indices: list[int]) -> GraphClosure:
-                closure: Optional[GraphClosure] = None
-                for index in indices:
-                    closure = fold_closure(closure, closures[index], mapper)
+                closure = fold_closure_set(
+                    (closures[index] for index in indices), mapper)
                 assert closure is not None
                 return closure
 
@@ -581,6 +644,421 @@ class DiskCTree:
         }
         self._meta["root"] = self._store.store(self._dump_record(new_root))
         self._meta["height"] = self._meta.get("height", 0) + 1
+
+    # -- incremental deletion (Section 5.4 against stored records) -----
+    def delete(self, graph_id: int, seed: int = 0,
+               auto_compact: bool = True) -> Graph:
+        """Remove one graph by id; returns it (single-graph form of
+        :meth:`delete_many`, sharing its group commit and compaction
+        behavior)."""
+        return self.delete_many([graph_id], seed=seed,
+                                auto_compact=auto_compact)[0]
+
+    def delete_many(self, graph_ids: Iterable[int], seed: int = 0,
+                    auto_compact: bool = True) -> list[Graph]:
+        """Remove a batch of graphs incrementally under **one** group
+        commit; returns them in request order.
+
+        Each id's leaf entry is located, removed, and its graph record's
+        pages freed.  Ancestor closures on the root-to-leaf path shrink
+        or stay: a recompute-from-children runs only where the removed
+        graph was load-bearing for a closure bound (a vertex/edge-count
+        or label-histogram bound it attained) — keeping a slightly loose
+        closure is always sound, Lemma 1 only needs containment of the
+        surviving graphs.  A node underflowing below ``min_fanout``
+        merges into (or redistributes with) the sibling the
+        ``min_volume`` primitive picks, bottom-up, exactly mirroring the
+        split machinery; a root left with one child collapses.  The
+        batch then commits at a single closing checkpoint carrying a
+        ``delete gen=N graphs=M`` note — a crash at any earlier point
+        recovers the previous generation intact.
+
+        Counters: each graph bumps ``ctree.disk.deletes``, each
+        underflow merge ``ctree.disk.underflow_merges``, each
+        redistribution ``ctree.disk.underflow_redistributes``, each
+        recomputed closure ``ctree.disk.closure_shrinks``, each batch
+        ``ctree.disk.group_commits``.  ``ctree.disk.rebuilds`` stays 0
+        on this path.
+
+        With ``auto_compact=True`` (default) the commit is followed by
+        :meth:`compact`, which repacks the tree **only** when the
+        configured occupancy/height thresholds have degraded (its own
+        commit, ``ctree.disk.compactions``); ``auto_compact=False``
+        leaves even a hollowed-out tree in place.
+
+        Raises :class:`~repro.exceptions.IndexError_` — before any
+        mutation — if an id is absent or requested twice.
+        """
+        self._check_open()
+        ids = list(graph_ids)
+        if not ids:
+            return []
+        if len(set(ids)) != len(ids):
+            raise IndexError_("duplicate graph ids in delete batch")
+        live = self._live_ids()
+        missing = [gid for gid in ids if gid not in live]
+        if missing:
+            raise IndexError_(f"no graph with id {missing[0]}")
+        reg = global_registry()
+        config = self._meta.get("config", {})
+        mapper = MAPPING_METHODS[config.get("mapping_method", "nbm")]
+        partition = resolve_closure_split_policy(
+            config.get("split_policy", "linear"))
+        min_fanout = config.get("min_fanout", 20)
+        max_fanout = config.get("max_fanout") or 2 * min_fanout - 1
+        rng = random.Random(seed)
+        self._ensure_leaf_count()
+        deletes = reg.counter("ctree.disk.deletes")
+        generation = self._meta.get("generation", 1) + 1
+        removed: list[Graph] = []
+        with trace.span("ctree.disk.delete", graphs=len(ids),
+                        generation=generation):
+            for gid in ids:
+                removed.append(self._delete_one(gid, mapper, partition,
+                                                min_fanout, max_fanout, rng))
+                deletes.value += 1
+            self._meta["graph_count"] = \
+                self._meta.get("graph_count", 0) - len(ids)
+            self._meta["generation"] = generation
+            self._write_meta()
+            note = (f"delete gen={generation} "
+                    f"graphs={len(ids)}").encode("ascii")
+            self.checkpoint(note=note)
+        reg.counter("ctree.disk.group_commits").inc()
+        if auto_compact:
+            self.compact(seed=seed)
+        return removed
+
+    def _live_ids(self) -> set:
+        """Every stored graph id, from a node-only walk (graph payloads
+        are never loaded — membership checks stay cheap)."""
+        ids: set[int] = set()
+        stack = [self._meta["root"]]
+        while stack:
+            record = self._load_record(stack.pop())
+            if record["leaf"]:
+                ids.update(gid for gid, _ in record.get("graphs", []))
+            else:
+                stack.extend(record.get("children", []))
+        return ids
+
+    def _find_path(self, graph_id: int) -> list[tuple[int, dict]]:
+        """The root-to-leaf path of ``(record_id, record)`` pairs ending
+        at the leaf holding ``graph_id``.
+
+        Deletion cannot descend by closure pruning (an id says nothing
+        about content), so this is a depth-first scan — worst case one
+        node-level pass, no graph payloads loaded.
+        """
+        stack: list[tuple[int, list]] = [(self._meta["root"], [])]
+        while stack:
+            record_id, ancestors = stack.pop()
+            record = self._load_record(record_id)
+            path = ancestors + [(record_id, record)]
+            if record["leaf"]:
+                if any(gid == graph_id
+                       for gid, _ in record.get("graphs", [])):
+                    return path
+            else:
+                for child_id in record.get("children", []):
+                    stack.append((child_id, path))
+        raise IndexError_(f"no graph with id {graph_id}")
+
+    def _delete_one(self, graph_id: int, mapper, partition,
+                    min_fanout: int, max_fanout: int,
+                    rng: random.Random) -> Graph:
+        """One Section-5.4 delete against the stored tree: drop the leaf
+        entry, free the graph record, shrink-or-keep the path closures,
+        resolve underflow bottom-up, collapse a trivial root."""
+        path = self._find_path(graph_id)
+        leaf = path[-1][1]
+        entries = leaf["graphs"]
+        index = next(i for i, (gid, _) in enumerate(entries)
+                     if gid == graph_id)
+        _, graph_record = entries[index]
+        graph = self._load_graph(graph_record)
+        self._store.delete(graph_record)
+        del entries[index]
+        self._shrink_path(path, graph, mapper, partition, min_fanout,
+                          max_fanout, rng)
+        self._collapse_root_records()
+        return graph
+
+    def _shrink_path(self, path: list, graph: Graph, mapper, partition,
+                     min_fanout: int, max_fanout: int,
+                     rng: random.Random) -> None:
+        """Walk the delete path bottom-up: remove dead children, handle
+        underflow via merge-or-redistribute, and shrink each closure the
+        removed graph was load-bearing for.  Every modified record is
+        persisted before its parent is processed (a parent refold reads
+        child closures back from the store), mirroring the insert path.
+        """
+        reg = global_registry()
+        shrinks = reg.counter("ctree.disk.closure_shrinks")
+        graph_hist = LabelHistogram.of(graph)
+        drop: Optional[int] = None  # freed child to unlink at this level
+        for i in range(len(path) - 1, -1, -1):
+            record_id, rec = path[i]
+            dirty = i == len(path) - 1  # the leaf already lost its entry
+            if drop is not None:
+                rec["children"].remove(drop)
+                drop = None
+                dirty = True
+            key = "graphs" if rec["leaf"] else "children"
+            entries = rec[key]
+            if i > 0 and not entries:
+                # The node died: free it and unlink it from the parent.
+                self._free_node(record_id, rec)
+                drop = record_id
+                continue
+            if not entries:
+                # Empty root leaf (delete-to-empty): no members, no
+                # closure.
+                if rec.pop("closure", None) is not None:
+                    dirty = True
+            elif "closure" in rec and self._may_shrink(
+                    graph, graph_hist, rec["closure"]):
+                refolded = self._refold_closure(rec, mapper)
+                assert refolded is not None
+                refolded_dict = refolded.to_dict()
+                if refolded_dict != rec["closure"]:
+                    rec["closure"] = refolded_dict
+                    shrinks.value += 1
+                    dirty = True
+            if i > 0 and len(entries) < min_fanout and \
+                    len(path[i - 1][1]["children"]) > 1:
+                # Shrink ran first, so a merge folds the *tightened*
+                # closure into its sibling.  The helper persists every
+                # record it leaves alive; an unpersisted `dirty` state
+                # is either freed (merge) or rewritten (redistribute).
+                if self._merge_or_redistribute(
+                        path, i, mapper, partition, min_fanout, max_fanout,
+                        rng):
+                    drop = record_id
+                continue
+            if dirty:
+                self._store.update(record_id, self._dump_record(rec))
+
+    @staticmethod
+    def _may_shrink(graph: Graph, graph_hist: LabelHistogram,
+                    closure_dict: dict) -> bool:
+        """Whether the removed graph could have been load-bearing for
+        this closure: it reached the closure's vertex or edge count, or
+        attained one of its histogram bounds.  A ``False`` proves a
+        recompute from the surviving children cannot tighten anything,
+        so the ancestor is skipped (keeping the closure is always sound
+        — Lemma 1 only needs containment of the surviving graphs)."""
+        closure = GraphClosure.from_dict(closure_dict)
+        if graph.num_vertices >= closure.num_vertices:
+            return True
+        if graph.num_edges >= closure.num_edges:
+            return True
+        return graph_hist.attains(LabelHistogram.of(closure))
+
+    def _refold_closure(self, rec: dict, mapper) -> Optional[GraphClosure]:
+        """Recompute one record's closure from its current members
+        (graphs for a leaf, child closures for an inner node)."""
+        if rec["leaf"]:
+            items = (self._load_graph(graph_record)
+                     for _, graph_record in rec.get("graphs", []))
+        else:
+            items = (self._record_closure(child_id)
+                     for child_id in rec.get("children", []))
+        return fold_closure_set(items, mapper)
+
+    def _merge_or_redistribute(self, path: list, i: int, mapper, partition,
+                               min_fanout: int, max_fanout: int,
+                               rng: random.Random) -> bool:
+        """Resolve one underflowing node against a policy-chosen sibling.
+
+        The sibling is the one absorbing the underflowing closure at
+        minimum volume growth (:func:`choose_merge_sibling`).  If the
+        union fits one node the underflowing record merges into the
+        sibling (returns True — the caller unlinks and this method frees
+        the record); otherwise the union is repartitioned with the
+        configured split policy, leaving both halves within bounds.
+        """
+        reg = global_registry()
+        record_id, rec = path[i]
+        parent = path[i - 1][1]
+        siblings = [cid for cid in parent["children"] if cid != record_id]
+        closure = GraphClosure.from_dict(rec["closure"])
+        choice, merged = choose_merge_sibling(
+            _LazyClosures(self, siblings), closure, mapper, rng)
+        sibling_id = siblings[choice]
+        sibling = self._load_record(sibling_id)
+        key = "graphs" if rec["leaf"] else "children"
+        if len(sibling[key]) + len(rec[key]) <= max_fanout:
+            sibling[key] = sibling[key] + rec[key]
+            sibling["closure"] = merged.to_dict()
+            self._store.update(sibling_id, self._dump_record(sibling))
+            self._free_node(record_id, rec)
+            reg.counter("ctree.disk.underflow_merges").inc()
+            return True
+        # The union overflows one node: repartition it instead.  The
+        # combined size is >= 2*min_fanout here (the sibling alone held
+        # > max_fanout - min_fanout >= min_fanout entries), so every
+        # split policy's halves respect the minimum.
+        entries = sibling[key] + rec[key]
+        if rec["leaf"]:
+            closures = [as_closure(self._load_graph(graph_record))
+                        for _, graph_record in entries]
+        else:
+            closures = [self._record_closure(child_id)
+                        for child_id in entries]
+        group1, group2 = partition(closures, mapper, rng, min_fanout)
+        if not group1 or not group2:
+            raise PersistenceError("split policy produced an empty group")
+        for target_id, target, group in ((sibling_id, sibling, group1),
+                                         (record_id, rec, group2)):
+            target[key] = [entries[j] for j in group]
+            folded = fold_closure_set((closures[j] for j in group), mapper)
+            assert folded is not None
+            target["closure"] = folded.to_dict()
+            self._store.update(target_id, self._dump_record(target))
+        reg.counter("ctree.disk.underflow_redistributes").inc()
+        return False
+
+    def _free_node(self, record_id: int, rec: dict) -> None:
+        """Return one node record's pages to the free list, keeping the
+        leaf count current."""
+        self._store.delete(record_id)
+        if rec["leaf"]:
+            self._meta["leaf_count"] = self._meta.get("leaf_count", 1) - 1
+
+    def _collapse_root_records(self) -> None:
+        """Shed trivial roots after a delete: an internal root with one
+        child hands the root to that child (height shrinks); an internal
+        root whose children all died becomes an empty leaf."""
+        root_id = self._meta["root"]
+        rec = self._load_record(root_id)
+        while not rec["leaf"] and len(rec["children"]) == 1:
+            child = rec["children"][0]
+            self._store.delete(root_id)
+            self._meta["root"] = child
+            self._meta["height"] = self._meta.get("height", 1) - 1
+            root_id, rec = child, self._load_record(child)
+        if not rec["leaf"] and not rec["children"]:
+            self._store.delete(root_id)
+            self._meta["root"] = self._store.store(
+                self._dump_record({"leaf": True, "graphs": []}))
+            self._meta["height"] = 0
+            self._meta["leaf_count"] = 1
+
+    # -- compaction ----------------------------------------------------
+    def _next_id_watermark(self) -> int:
+        """The next graph id to issue — monotone across deletes, so a
+        removed id is never reused for a different graph."""
+        return self._meta.get("next_id", self._meta.get("graph_count", 0))
+
+    def _ensure_leaf_count(self) -> int:
+        """The number of leaf records, from the metadata or (for an
+        index written before the counter existed) one node-only walk,
+        cached back into the metadata."""
+        count = self._meta.get("leaf_count")
+        if count is None:
+            count = 0
+            stack = [self._meta["root"]]
+            while stack:
+                record = self._load_record(stack.pop())
+                if record["leaf"]:
+                    count += 1
+                else:
+                    stack.extend(record.get("children", []))
+            self._meta["leaf_count"] = count
+        return count
+
+    @property
+    def occupancy(self) -> float:
+        """Live entries as a fraction of the leaf level's capacity
+        (``graph_count / (leaf_count * max_fanout)``) — the quantity the
+        automatic compaction trigger watches."""
+        config = self._meta.get("config", {})
+        min_fanout = config.get("min_fanout", 20)
+        max_fanout = config.get("max_fanout") or 2 * min_fanout - 1
+        leaves = max(self._ensure_leaf_count(), 1)
+        return len(self) / (leaves * max_fanout)
+
+    def _bulk_load_height(self, count: int) -> int:
+        """The height a fresh, fully packed bulk load of ``count``
+        graphs could reach (every level at ``max_fanout``) — the
+        baseline the height-degradation trigger compares against, with
+        ``height_slack`` levels of tolerance on top."""
+        config = self._meta.get("config", {})
+        min_fanout = config.get("min_fanout", 20)
+        max_fanout = max(config.get("max_fanout")
+                         or 2 * min_fanout - 1, 2)
+        height = 0
+        while count > max_fanout:
+            count = -(-count // max_fanout)
+            height += 1
+        return height
+
+    def compaction_needed(
+        self,
+        min_occupancy: Optional[float] = None,
+        height_slack: Optional[int] = None,
+    ) -> Optional[str]:
+        """Why the tree should be repacked, or None if it is healthy.
+
+        Two degradation signals, both maintained in the v2 metadata:
+        leaf occupancy below ``min_occupancy``, or a height more than
+        ``height_slack`` levels above what a fully packed bulk load of
+        the same graph count would build.  The thresholds default to
+        this handle's :attr:`min_occupancy` / :attr:`height_slack`
+        knobs (module defaults ``DEFAULT_MIN_OCCUPANCY`` /
+        ``DEFAULT_HEIGHT_SLACK``).
+        """
+        self._check_open()
+        if len(self) == 0:
+            return None
+        if min_occupancy is None:
+            min_occupancy = self.min_occupancy
+        if height_slack is None:
+            height_slack = self.height_slack
+        if self._ensure_leaf_count() > 1 and self.occupancy < min_occupancy:
+            return (f"occupancy {self.occupancy:.2f} below "
+                    f"{min_occupancy:.2f}")
+        target = self._bulk_load_height(len(self))
+        height = self._meta.get("height", 0)
+        if height > target + height_slack:
+            return (f"height {height} above bulk-load height {target} "
+                    f"+ slack {height_slack}")
+        return None
+
+    def compact(
+        self,
+        seed: int = 0,
+        force: bool = False,
+        min_occupancy: Optional[float] = None,
+        height_slack: Optional[int] = None,
+    ) -> Optional[str]:
+        """Repack a degraded tree by re-bulk-loading the live graphs
+        (ids and the id watermark preserved) under one commit; returns
+        the trigger reason, or None when no compaction was needed.
+
+        Runs only when :meth:`compaction_needed` reports a reason
+        (``force=True`` overrides), so calling it after every delete
+        batch — which ``auto_compact=True`` does — is cheap.  Each run
+        bumps ``ctree.disk.compactions`` and commits with a ``compact
+        gen=N`` note; ``ctree.disk.rebuilds`` is **not** touched — that
+        counter tracks the manual ``rebuild=True`` escape hatch only.
+        """
+        self._check_open()
+        if len(self) == 0:
+            return None
+        reason = self.compaction_needed(min_occupancy, height_slack) \
+            if not force else "forced"
+        if reason is None:
+            return None
+        with trace.span("ctree.disk.compact", reason=reason,
+                        graphs=len(self)):
+            items = sorted(self.iter_graphs(), key=lambda item: item[0])
+            self._rebuild_records(items, seed,
+                                  next_id=self._next_id_watermark(),
+                                  note_kind="compact")
+        global_registry().counter("ctree.disk.compactions").inc()
+        return reason
 
     def _write_meta(self) -> None:
         """Rewrite the metadata record in place (its id — the page
@@ -1113,6 +1591,7 @@ class DiskCTree:
                         f"metadata says {meta.get('graph_count')} graphs, "
                         f"tree holds {len(graph_ids)}"
                     )
+                cls._fsck_meta_counters(meta, graph_ids, report)
         report.reachable_pages = len(reachable)
         # 4. Page accounting: live and free pages must tile the file.
         overlap = reachable & free
@@ -1212,6 +1691,7 @@ class DiskCTree:
             line = lineage + [(hist, closure)] \
                 if hist is not None and closure is not None else lineage
             if record.get("leaf"):
+                report.leaves += 1
                 if depth != height:
                     report.issue(
                         f"node record {record_id}: leaf at depth {depth}, "
@@ -1240,6 +1720,37 @@ class DiskCTree:
                 for child_record in record.get("children", []):
                     stack.append((child_record, depth + 1, line))
         return graph_ids
+
+    @staticmethod
+    def _fsck_meta_counters(meta: dict, graph_ids: set,
+                            report: FsckReport) -> None:
+        """Check the delete-era metadata counters against the live-entry
+        walk: the leaf count must match the leaves actually visited, no
+        live id may sit at or above the id watermark, and a degraded
+        leaf occupancy is surfaced (as a note — the automatic compaction
+        trigger, not an integrity rule, decides when to repack)."""
+        if "leaf_count" in meta and meta["leaf_count"] != report.leaves:
+            report.issue(
+                f"metadata says {meta['leaf_count']} leaves, tree holds "
+                f"{report.leaves}"
+            )
+        if "next_id" in meta and graph_ids:
+            top = max(graph_ids)
+            if top >= meta["next_id"]:
+                report.issue(
+                    f"graph id {top} at or above the metadata id "
+                    f"watermark {meta['next_id']}"
+                )
+        config = meta.get("config", {})
+        min_fanout = config.get("min_fanout", 20)
+        max_fanout = config.get("max_fanout") or 2 * min_fanout - 1
+        if report.leaves > 1:
+            occupancy = len(graph_ids) / (report.leaves * max_fanout)
+            if occupancy < DEFAULT_MIN_OCCUPANCY:
+                report.notes.append(
+                    f"leaf occupancy {occupancy:.2f} below the "
+                    f"compaction threshold {DEFAULT_MIN_OCCUPANCY:.2f}"
+                )
 
     @staticmethod
     def _fsck_graph_lineage(gid: int, graph: Graph,

@@ -9,7 +9,7 @@ label histogram — the two summaries the query processors prune with.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.graphs.closure import GraphClosure, GraphLike, as_closure
 from repro.graphs.graph import Graph
@@ -35,6 +35,24 @@ def fold_closure(
     if base is None:
         return added.copy()
     return mapper(base, added).closure()
+
+
+def fold_closure_set(
+    items: Iterable[GraphLike], mapper: Mapper
+) -> Optional[GraphClosure]:
+    """Fold a whole sequence of graph-like objects into one closure
+    (``None`` for an empty sequence).
+
+    This is the recompute-from-members primitive the delete paths share:
+    after a removal, a node's summary is re-derived by folding the
+    surviving children in order, exactly as a split re-folds its two
+    groups — so shrink-after-delete and split produce identical
+    closures for identical member lists.
+    """
+    closure: Optional[GraphClosure] = None
+    for item in items:
+        closure = fold_closure(closure, item, mapper)
+    return closure
 
 
 @dataclass

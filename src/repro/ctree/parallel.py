@@ -37,9 +37,10 @@ and expose the new state.  For a disk index the long-lived pool
 survives the refresh: the engine bumps an *index epoch* that rides on
 every task, and each worker lazily swaps its read-only handle the
 first time it sees a task from a newer epoch — no respawn, so
-incremental appends become visible to pre-forked workers at the cost
-of one reopen per worker.  In-memory trees are shared by fork-time
-copy-on-write and still require a respawn.
+incremental appends, deletes, and compactions become visible to
+pre-forked workers at the cost of one reopen per worker.  In-memory
+trees are shared by fork-time copy-on-write and still require a
+respawn.
 
 On platforms without the ``fork`` start method the engine degrades to
 serial in-process execution (caching still applies); answers are

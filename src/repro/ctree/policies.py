@@ -75,6 +75,21 @@ def fold_choice_min_volume(
     return best_index, best_enlarged
 
 
+def choose_merge_sibling(
+    closures: Sequence[GraphClosure], orphan: GraphLike, mapper: Mapper,
+    rng: random.Random,
+) -> tuple[int, GraphClosure]:
+    """Pick the sibling absorbing an underflowing node's closure at the
+    least volume growth (the delete path's merge-partner choice).
+
+    This is :func:`fold_choice_min_volume` with an orphaned *closure*
+    in the graph seat: the returned enlarged closure is exactly the
+    merged node's summary, so the disk delete path reuses it instead of
+    folding the orphan in a second time.
+    """
+    return fold_choice_min_volume(closures, orphan, mapper, rng)
+
+
 def choose_closure_min_volume(
     closures: Sequence[GraphClosure], graph: GraphLike, mapper: Mapper,
     rng: random.Random,

@@ -74,6 +74,22 @@ class LabelHistogram:
                 return False
         return True
 
+    def attains(self, outer: "LabelHistogram") -> bool:
+        """True iff some count of ``self`` reaches the matching count in
+        ``outer`` (``self[i] >= outer[i] > 0`` for at least one label).
+
+        When ``outer`` dominates ``self`` (an ancestor closure over a
+        member graph), this detects whether the member is *load-bearing*
+        for any label bound: removing a graph that attains no bound
+        cannot lower any count of a recomputed closure histogram, so the
+        disk delete path skips the recomputation entirely.
+        """
+        mine = self._counts
+        for key, count in mine.items():
+            if count >= outer._counts.get(key, 0):
+                return True
+        return False
+
     def merged(self, other: "LabelHistogram") -> "LabelHistogram":
         """Pointwise-max merge: the histogram of a parent closure must
         dominate both children, and the pointwise max is the tightest such

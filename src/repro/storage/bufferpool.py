@@ -255,7 +255,8 @@ class BufferPool:
         on return the page file alone holds the complete state and the
         WAL is empty.  ``note`` is carried on the COMMIT record
         (diagnostic only — see :meth:`WriteAheadLog.commit
-        <repro.storage.wal.WriteAheadLog.commit>`); a group commit stamps
+        <repro.storage.wal.WriteAheadLog.commit>`); a group commit —
+        an ``extend``, ``delete_many``, or ``compact`` batch — stamps
         the whole staged batch with one note here.
         """
         if self._wal is None:

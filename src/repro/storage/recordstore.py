@@ -93,10 +93,14 @@ class RecordStore:
             self._pool.free(page_id)
         return page_ids[0]
 
-    def delete(self, record_id: int) -> None:
-        """Free every page of a record."""
-        for page_id in self.chain_pages(record_id):
+    def delete(self, record_id: int) -> int:
+        """Free every page of a record; returns how many pages went back
+        to the free list (the delete path's page accounting — fsck later
+        proves reachable and free pages still tile the file exactly)."""
+        pages = self.chain_pages(record_id)
+        for page_id in pages:
             self._pool.free(page_id)
+        return len(pages)
 
     def chain_pages(self, record_id: int) -> list[int]:
         """The page ids forming a record's chain, head first (``fsck``

@@ -216,10 +216,12 @@ class WriteAheadLog:
         """Append a COMMIT record and make everything before it durable.
 
         ``note`` is an optional short annotation carried in the COMMIT
-        payload (e.g. ``b"extend gen=3 graphs=5"`` from a group commit).
-        Recovery keys on the record *kind* only, so the payload is purely
-        diagnostic — ``repro fsck``/log forensics can attribute a commit
-        to the logical operation that produced it.
+        payload (e.g. ``b"extend gen=3 graphs=5"``,
+        ``b"delete gen=4 graphs=7"``, or ``b"compact gen=5"`` from the
+        disk index's group commits).  Recovery keys on the record *kind*
+        only, so the payload is purely diagnostic — ``repro fsck``/log
+        forensics can attribute a commit to the logical operation that
+        produced it.
         """
         if len(note) > self.page_size:
             raise WALError(

@@ -149,6 +149,56 @@ class TestSimilarityCommands:
         assert "within distance" in capsys.readouterr().out
 
 
+class TestDeleteCompactCommands:
+    @pytest.fixture()
+    def mutable_index(self, tmp_path):
+        """A private disk index (the shared workspace one must survive
+        the other test classes untouched)."""
+        db = tmp_path / "db.jsonl"
+        disk = tmp_path / "tree.ctp"
+        assert main(["generate", "chemical", "-n", "25", "-o", str(db),
+                     "--seed", "3"]) == 0
+        assert main(["build", "-i", str(db), "-o", str(disk),
+                     "--min-fanout", "2"]) == 0
+        return disk
+
+    def test_delete_reports_and_stays_clean(self, mutable_index, capsys):
+        assert main(["delete", "-t", str(mutable_index),
+                     "--ids", "1,3,5 7"]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 4 graph(s)" in out
+        assert "one group commit" in out
+        assert "21 graphs" in out
+        assert main(["fsck", "-i", str(mutable_index), "--deep"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_delete_missing_id_fails(self, mutable_index, capsys):
+        with pytest.raises(SystemExit):
+            main(["delete", "-t", str(mutable_index), "--ids", "999"])
+
+    def test_delete_malformed_ids_fail(self, mutable_index):
+        with pytest.raises(SystemExit):
+            main(["delete", "-t", str(mutable_index), "--ids", "1,x"])
+        with pytest.raises(SystemExit):
+            main(["delete", "-t", str(mutable_index), "--ids", ""])
+
+    def test_compact_noop_then_forced(self, mutable_index, capsys):
+        assert main(["compact", "-t", str(mutable_index)]) == 0
+        assert "no compaction needed" in capsys.readouterr().out
+        assert main(["compact", "-t", str(mutable_index), "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted (forced)" in out and "occupancy" in out
+        assert main(["fsck", "-i", str(mutable_index), "--deep"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_compact_snapshot_rejected(self, workspace):
+        _, _, tree, _ = workspace
+        with pytest.raises(SystemExit):
+            main(["compact", "-t", str(tree)])
+        with pytest.raises(SystemExit):
+            main(["delete", "-t", str(tree), "--ids", "1"])
+
+
 class TestRecoverFsckCommands:
     def _crashed_index(self, root):
         """Build a disk index, then crash the process-model partway

@@ -1,14 +1,17 @@
 """Crash-recovery sweep: kill the process-model at every injection point
-of a create+append workload, recover, and require bit-identical answers.
+of a create+append+delete workload, recover, and require bit-identical
+answers.
 
-The workload commits three generations: 1 = bulk-loaded create, 2 = an
+The workload commits five generations: 1 = bulk-loaded create, 2 = an
 incremental batch ``extend`` (path-local splits under one group
-commit), 3 = a single-graph incremental ``append`` — so every
-injection point along the new insert/split/group-commit WAL traffic is
-swept.  For every crash point the recovered index must land on a
-*committed generation* (or the empty pre-commit state), pass a deep
-``fsck``, and answer subgraph and k-NN queries exactly like an
-uncrashed oracle of that generation.
+commit), 3 = a single-graph incremental ``append``, 4 = a batch
+``delete_many`` (shrink-or-keep closures plus underflow merges under
+one group commit), 5 = a forced ``compact`` — so every injection point
+along the insert/split/delete/merge/compaction WAL traffic is swept.
+For every crash point the recovered index must land on a *committed
+generation* (or the empty pre-commit state), pass a deep ``fsck``, and
+answer subgraph and k-NN queries exactly like an uncrashed oracle of
+that generation.
 
 The full sweep runs in CI under ``REPRO_CRASH_SWEEP=full``; by default
 a deterministic sample keeps the tier-1 run fast.  Every test here is
@@ -31,12 +34,18 @@ _CONFIG = ChemicalConfig(mean_vertices=10, large_fraction=0.0)
 _BASE = generate_chemical_database(12, seed=7, config=_CONFIG)
 _EXTRA = generate_chemical_database(6, seed=9, config=_CONFIG)
 _QUERIES = [_BASE[3], _EXTRA[2], _BASE[0]]
+#: Generation 4's victims: spread across the tree so that at
+#: min_fanout=2 several leaves underflow and merge/redistribute.
+_VICTIMS = [1, 3, 5, 7, 9, 11, 13]
+_GENERATIONS = (1, 2, 3, 4, 5)
 
 
-def _build(path, opener=None, upto=3):
+def _build(path, opener=None, upto=5):
     """The workload under test: create generation 1, incrementally
     extend generation 2 (a batch under one group commit, forcing node
-    splits at max_fanout=4), append generation 3 (single graph).
+    splits at max_fanout=4), append generation 3 (single graph),
+    batch-delete generation 4 (shrink-or-keep closures plus underflow
+    merges, one group commit), force-compact generation 5.
 
     A tiny page size and cache force WAL spills, free-list churn and
     multi-page record chains — the paths a crash must not corrupt.
@@ -48,6 +57,10 @@ def _build(path, opener=None, upto=3):
         disk.extend(_EXTRA[:5])
     if upto >= 3:
         disk.append([_EXTRA[5]])
+    if upto >= 4:
+        disk.delete_many(_VICTIMS, auto_compact=False)
+    if upto >= 5:
+        disk.compact(force=True)
     disk.close()
 
 
@@ -69,7 +82,7 @@ def oracle(tmp_path_factory):
     """Uncrashed reference answers for every committed generation."""
     root = tmp_path_factory.mktemp("oracle")
     answers = {}
-    for generation in (1, 2, 3):
+    for generation in _GENERATIONS:
         path = root / f"g{generation}.ctp"
         _build(path, upto=generation)
         answers[generation] = _answers(path)[1]
@@ -114,7 +127,7 @@ class TestCrashSweep:
             # Recovered to the pre-first-commit empty state.
             return
         generation, fingerprint = _answers(path)
-        assert generation in (1, 2, 3)
+        assert generation in _GENERATIONS
         assert fingerprint == oracle[generation], (
             f"crash at op {crash_at}/{_TOTAL_OPS}: generation "
             f"{generation} answers diverge from the uncrashed oracle"
@@ -136,6 +149,26 @@ class TestCrashSweep:
             # auto_recover on open must also be a no-op now.
             with DiskCTree.open(path) as disk:
                 assert disk.generation == first.fsck.generation
+
+
+class TestWorkloadCoverage:
+    def test_workload_exercises_delete_machinery_without_rebuilds(
+            self, tmp_path):
+        """The swept workload really drives the delete-era paths:
+        generation 4 forces underflow merges, generation 5 is exactly
+        one compaction, and nothing ever falls back to a rebuild."""
+        from repro.obs.metrics import global_registry
+
+        registry = global_registry()
+        names = ("ctree.disk.deletes", "ctree.disk.underflow_merges",
+                 "ctree.disk.compactions", "ctree.disk.rebuilds")
+        before = {n: registry.counter(n).value for n in names}
+        _build(tmp_path / "coverage.ctp")
+        delta = {n: registry.counter(n).value - before[n] for n in names}
+        assert delta["ctree.disk.deletes"] == len(_VICTIMS)
+        assert delta["ctree.disk.underflow_merges"] > 0
+        assert delta["ctree.disk.compactions"] == 1
+        assert delta["ctree.disk.rebuilds"] == 0
 
 
 class TestCrashReplayDeterminism:

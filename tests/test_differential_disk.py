@@ -2,6 +2,8 @@
 in-memory C-tree, for seeded corpora, with the matching kernels both on
 and off (``REPRO_PSEUDO_KERNELS``)."""
 
+import random
+
 import pytest
 
 from repro.ctree.bulkload import bulk_load
@@ -11,6 +13,7 @@ from repro.ctree.subgraph_query import (
     linear_scan_subgraph_query,
     subgraph_query,
 )
+from repro.ctree.tree import CTree
 from repro.datasets.chemical import ChemicalConfig, generate_chemical_database
 from repro.datasets.queries import generate_subgraph_queries
 from repro.matching import kernels
@@ -129,5 +132,59 @@ class TestAppendDifferential:
             assert pages_after < 2 * pages_before
         finally:
             disk.close()
+        report = DiskCTree.fsck(path, deep=True)
+        assert report.clean, report.errors
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kernels_on", [True, False],
+                         ids=["kernels", "reference"])
+class TestChurnDifferential:
+    def test_churn_equals_memory_oracle(self, tmp_path, seed, kernels_on):
+        """A mixed insert/delete churn on the disk index must answer
+        exactly like a fresh in-memory C-tree built over whatever
+        graphs survived — with the matching kernels both on and off,
+        and without ever falling back to a rebuild."""
+        from repro.obs.metrics import global_registry
+
+        rebuilds = global_registry().counter("ctree.disk.rebuilds")
+        before = rebuilds.value
+        with kernels.use_kernels(kernels_on):
+            base = generate_chemical_database(20, seed=seed, config=_CONFIG)
+            extra = generate_chemical_database(
+                12, seed=seed + 100, config=_CONFIG
+            )
+            path = tmp_path / f"churn-{seed}-{int(kernels_on)}.ctp"
+            disk = DiskCTree.create(
+                bulk_load(base, min_fanout=2, max_fanout=4), path,
+                page_size=512, cache_pages=16,
+            )
+            try:
+                survivors = dict(enumerate(base))
+                rng = random.Random(seed)
+                pending = list(extra)
+                for _ in range(4):
+                    victims = rng.sample(sorted(survivors), 4)
+                    disk.delete_many(victims, seed=seed)
+                    for gid in victims:
+                        del survivors[gid]
+                    batch, pending = pending[:3], pending[3:]
+                    for gid, graph in zip(disk.append(batch), batch):
+                        survivors[gid] = graph
+
+                assert dict(disk.iter_graphs()) == survivors
+
+                oracle = CTree(min_fanout=2, max_fanout=4)
+                for gid in sorted(survivors):
+                    oracle.insert(survivors[gid], graph_id=gid)
+                pool = list(survivors.values())
+                queries = generate_subgraph_queries(pool, 6, 5, seed=seed)
+                for q in queries:
+                    mem, _ = subgraph_query(oracle, q)
+                    dsk, _ = disk.subgraph_query(q)
+                    assert sorted(dsk) == sorted(mem)
+            finally:
+                disk.close()
+        assert rebuilds.value == before
         report = DiskCTree.fsck(path, deep=True)
         assert report.clean, report.errors

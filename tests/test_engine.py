@@ -374,6 +374,35 @@ class TestDiskRefresh:
                 # every appended graph matches itself in the new state
                 assert all(a for a, _ in batch[len(golden_queries):])
 
+    def test_refresh_sees_deletes_and_compaction(self, golden_db,
+                                                 golden_queries, tmp_path):
+        """After incremental deletes (and the compaction they may
+        trigger) + refresh, pre-forked workers answer against the
+        surviving set — deleted ids gone, no pool respawn."""
+        tree = bulk_load(golden_db, min_fanout=3)
+        path = tmp_path / "shrink.ctp"
+        victims = [0, 2, 4]
+        with DiskCTree.create(tree, path, page_size=512,
+                              cache_pages=32) as disk:
+            with QueryEngine(disk, workers=2, cache_size=0).start() \
+                    as engine:
+                if engine._pool is None:
+                    pytest.skip("no fork start method on this platform")
+                engine.query_many(golden_queries)
+                pool = engine._pool
+                disk.delete_many(victims)
+                disk.compact(force=True)
+                engine.refresh()
+                assert engine._pool is pool, "disk refresh must not respawn"
+                batch = engine.query_many(golden_queries)
+                with DiskCTree.open(path, wal=False,
+                                    auto_recover=False) as fresh:
+                    serial = [fresh.subgraph_query(q)[0]
+                              for q in golden_queries]
+                assert [a for a, _ in batch] == serial
+                assert not any(set(victims) & set(a) for a, _ in batch), \
+                    "deleted ids leaked through the refreshed pool"
+
 
 # ----------------------------------------------------------------------
 # Graph.signature memoization
