@@ -1,0 +1,266 @@
+"""Sharded scatter-gather benchmark: S C-trees vs the single tree.
+
+Partitions a |D| = 10,000 chemical database (paper scale; small
+molecules keep pure Python affordable — see
+:class:`conftest.ShardsBenchConfig`) into S independent C-trees under
+closure-clustering placement and serves the same subgraph + K-NN
+workload through :class:`~repro.ctree.shards.ShardedEngine` at every
+configured S, gating on
+
+(a) **bit-identical answers** at every shard count: subgraph answers
+    equal ``sorted()`` of the single-tree serial loop, K-NN equals the
+    single tree's canonical ``(-sim, id)`` top-k;
+(b) **balance**: per-shard candidate work under closure placement
+    within ``max_skew`` (1.5x full scale) of perfectly balanced —
+    ``max_s work_s <= max_skew * total_work / S`` — with the hash
+    placement measured alongside for comparison;
+(c) **cross-process cache**: a forked second engine process attaching
+    to the same :class:`~repro.ctree.shardcache.SharedMemoryAnswerCache`
+    slab answers a warm batch entirely from cache — >= 1 hit, zero
+    dispatched tasks, and no shard worker pools ever forked.
+
+Writes ``BENCH_shards.json`` at the repo root (schema
+``shards-bench-v1``, validated by :func:`conftest.validate_shards_payload`
+and uploaded as a CI artifact by the bench-smoke job) in addition to
+the usual ``record_figure`` table + ``BENCH_ctree.json`` entry.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+import uuid
+
+import pytest
+
+import conftest
+from conftest import (
+    SHARDS,
+    SHARDS_BENCH_JSON,
+    SHARDS_BENCH_SCHEMA,
+    record_figure,
+    validate_shards_payload,
+)
+
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.shardcache import SharedMemoryAnswerCache, cache_segment_name
+from repro.ctree.shards import ShardSet, ShardedEngine
+from repro.ctree.similarity_query import knn_query
+from repro.ctree.subgraph_query import subgraph_query
+from repro.datasets.chemical import ChemicalConfig, generate_chemical_database
+from repro.datasets.queries import generate_subgraph_queries
+from repro.obs.metrics import global_registry
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module")
+def shard_database():
+    """The benchmark database: many small molecules (see config)."""
+    cfg = ChemicalConfig(mean_vertices=SHARDS.mean_vertices,
+                         large_fraction=0.0, min_vertices=4)
+    return generate_chemical_database(SHARDS.database_size,
+                                      seed=SHARDS.seed, config=cfg)
+
+
+@pytest.fixture(scope="module")
+def shard_queries(shard_database):
+    return generate_subgraph_queries(shard_database, SHARDS.query_size,
+                                     SHARDS.subgraph_queries,
+                                     seed=SHARDS.seed + 1)
+
+
+def _serial_baseline(database, queries):
+    """The single-tree serial loop every sharded run must reproduce."""
+    tree = bulk_load(database, min_fanout=SHARDS.min_fanout)
+    start = time.perf_counter()
+    subgraph = [sorted(subgraph_query(tree, q, level=1, verify=True)[0])
+                for q in queries]
+    knn = [knn_query(tree, q, SHARDS.knn_k, canonical=True)[0]
+           for q in queries[:SHARDS.knn_queries]]
+    return tree, subgraph, knn, time.perf_counter() - start
+
+
+def _candidate_work(registry, before, shards):
+    """Per-shard candidate work accumulated since ``before``."""
+    delta = registry.diff(before)
+    return [delta.get(f"shard.s{s}.candidate_work", {}).get("value", 0)
+            for s in range(shards)]
+
+
+def _run_sharded(database, queries, shards, placement):
+    """Build a shard set, serve the workload, return (run dict, work)."""
+    build_start = time.perf_counter()
+    shardset = ShardSet.build_memory(database, shards, placement=placement,
+                                     min_fanout=SHARDS.min_fanout)
+    build_seconds = time.perf_counter() - build_start
+    registry = global_registry()
+    before = registry.snapshot()
+    start = time.perf_counter()
+    with ShardedEngine(shardset, cache_size=0) as engine:
+        subgraph = [a for a, _ in engine.query_many(queries, level=1,
+                                                    verify=True)]
+        knn = [a for a, _ in
+               engine.knn_many(queries[:SHARDS.knn_queries], SHARDS.knn_k)]
+    seconds = time.perf_counter() - start
+    work = _candidate_work(registry, before, shards)
+    run = {
+        "shards": shards,
+        "placement": placement,
+        "build_seconds": build_seconds,
+        "query_seconds": seconds,
+        "shard_sizes": shardset.shard_sizes(),
+        "candidate_work": work,
+    }
+    return run, subgraph, knn
+
+
+def _cross_process_cache_check(database):
+    """First engine fills a shared-memory slab; a *forked second
+    process* must answer the same batch purely from it: >= 1 hit, zero
+    dispatched shard tasks, and no worker pools forked at all."""
+    sub = database[:SHARDS.cache_database_size]
+    queries = generate_subgraph_queries(sub, SHARDS.query_size, 4,
+                                        seed=SHARDS.seed + 2)
+    shardset = ShardSet.build_memory(sub, SHARDS.cache_shards,
+                                     placement="hash",
+                                     min_fanout=SHARDS.min_fanout)
+    name = cache_segment_name(f"bench-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+    cache = SharedMemoryAnswerCache(name, slots=SHARDS.cache_slots,
+                                    slot_size=SHARDS.cache_slot_size)
+    try:
+        with ShardedEngine(shardset, cache=cache) as first:
+            expected = [a for a, _ in first.query_many(queries)]
+
+        ctx = multiprocessing.get_context("fork")
+        conn_r, conn_w = ctx.Pipe(duplex=False)
+
+        def child(segment, conn):
+            peer = SharedMemoryAnswerCache(segment, create=False)
+            try:
+                with ShardedEngine(shardset, cache=peer) as second:
+                    answers = [a for a, _ in second.query_many(queries)]
+                    report = second.last_batch
+                    conn.send({
+                        "answers": answers,
+                        "cache_hits": report.cache_hits,
+                        "dispatched": report.dispatched,
+                        "pools_forked": second._pools is not None,
+                    })
+            finally:
+                peer.close()
+
+        proc = ctx.Process(target=child, args=(name, conn_w))
+        proc.start()
+        proc.join(timeout=120)
+        assert proc.exitcode == 0, "cross-process cache child failed"
+        got = conn_r.recv()
+    finally:
+        cache.destroy()
+    return {
+        "queries": len(queries),
+        "cache_hits": got["cache_hits"],
+        "dispatched": got["dispatched"],
+        "pools_forked": got["pools_forked"],
+        "identical": got["answers"] == expected,
+    }
+
+
+def test_sharded_scatter_gather(shard_database, shard_queries, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _FORK:
+        pytest.skip("sharded benchmark needs the fork start method")
+
+    tree, serial_sub, serial_knn, serial_seconds = _serial_baseline(
+        shard_database, shard_queries
+    )
+    del tree
+
+    runs = []
+    for shards in SHARDS.shard_counts:
+        run, subgraph, knn = _run_sharded(shard_database, shard_queries,
+                                          shards, "closure")
+        run["identical"] = (subgraph == serial_sub and knn == serial_knn)
+        runs.append(run)
+
+    assert all(run["identical"] for run in runs), (
+        f"sharded answers diverged from the single-tree serial loop at S="
+        f"{[r['shards'] for r in runs if not r['identical']]}"
+    )
+
+    # Balance: closure placement at the largest configured S, with the
+    # structure-blind hash placement measured alongside for contrast.
+    closure_run = next(r for r in runs
+                       if r["shards"] == SHARDS.balance_shards)
+    hash_run, hash_sub, hash_knn = _run_sharded(
+        shard_database, shard_queries, SHARDS.balance_shards, "hash"
+    )
+    hash_run["identical"] = (hash_sub == serial_sub
+                             and hash_knn == serial_knn)
+    runs.append(hash_run)
+
+    def skew(work):
+        total = sum(work)
+        return (max(work) / (total / len(work))) if total else 1.0
+
+    balance_skew = skew(closure_run["candidate_work"])
+    max_skew = SHARDS.max_skew_quick if conftest._QUICK else SHARDS.max_skew
+
+    cross = _cross_process_cache_check(shard_database)
+
+    record_figure(
+        "sharded_scatter_gather",
+        f"Sharded scatter-gather vs single tree (chemical, "
+        f"|D|={SHARDS.database_size}, {SHARDS.subgraph_queries} subgraph "
+        f"+ {SHARDS.knn_queries} K-NN queries, closure placement)",
+        "shards",
+        [r["shards"] for r in runs if r["placement"] == "closure"],
+        {
+            "query time (s)": [r["query_seconds"] for r in runs
+                               if r["placement"] == "closure"],
+            "speedup vs serial": [serial_seconds / r["query_seconds"]
+                                  for r in runs
+                                  if r["placement"] == "closure"],
+            "work skew": [skew(r["candidate_work"]) for r in runs
+                          if r["placement"] == "closure"],
+        },
+        float_format="{:.3f}",
+    )
+
+    payload = {
+        "schema": SHARDS_BENCH_SCHEMA,
+        "quick": conftest._QUICK,
+        "workload": {
+            "dataset": "chemical-small",
+            "database_size": SHARDS.database_size,
+            "subgraph_queries": SHARDS.subgraph_queries,
+            "knn_queries": SHARDS.knn_queries,
+            "query_size": SHARDS.query_size,
+            "knn_k": SHARDS.knn_k,
+            "min_fanout": SHARDS.min_fanout,
+            "seed": SHARDS.seed,
+        },
+        "serial_seconds": serial_seconds,
+        "runs": runs,
+        "cross_process_cache": cross,
+        "gate": {
+            "identical_all": all(run["identical"] for run in runs),
+            "balance_skew": balance_skew,
+            "max_skew": max_skew,
+            "hash_skew": skew(hash_run["candidate_work"]),
+            "cross_process_hit": cross["cache_hits"] >= 1,
+            "second_engine_touched_shards": (cross["pools_forked"]
+                                             or cross["dispatched"] > 0),
+        },
+    }
+    SHARDS_BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n[shard telemetry written to {SHARDS_BENCH_JSON}]")
+
+    # The same gates CI re-checks from the file — failing them here
+    # keeps a bad payload from ever being uploaded.
+    print(validate_shards_payload(payload))

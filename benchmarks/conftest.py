@@ -156,6 +156,52 @@ CHURN = ChurnBenchConfig()
 CHURN_BENCH_JSON = REPO_ROOT / "BENCH_churn.json"
 CHURN_BENCH_SCHEMA = "churn-bench-v1"
 
+
+@dataclass(frozen=True)
+class ShardsBenchConfig:
+    """Workload of the sharded scatter-gather benchmark (bench_shards.py).
+
+    The full-scale run partitions ``database_size`` = 10,000 graphs —
+    the paper's |D| — which pure Python only affords with *small*
+    molecules (``mean_vertices`` ~ 6 instead of the dataset's 25; the
+    figure-reproduction benchmarks keep the paper's graph sizes at a
+    smaller |D| instead).  Placement quality, candidate balance and
+    merge correctness depend on the partition, not the vertex count,
+    so the gates are meaningful at this shape.  ``--quick`` shrinks
+    |D| to CI smoke scale; the identity and cross-process-cache gates
+    are scale-free, while the balance gate relaxes to
+    ``max_skew_quick`` (tens of candidates per shard are
+    noise-dominated).
+    """
+
+    database_size: int = 10_000
+    subgraph_queries: int = 12
+    knn_queries: int = 4
+    query_size: int = 5
+    knn_k: int = 5
+    #: shard counts swept by the bit-identity gate
+    shard_counts: tuple[int, ...] = (1, 2, 4)
+    #: shard count used for the closure-vs-hash balance comparison
+    balance_shards: int = 4
+    min_fanout: int = 10
+    mean_vertices: float = 6.0
+    #: balance gate: max per-shard candidate work / (total / S)
+    max_skew: float = 1.5
+    max_skew_quick: float = 2.5
+    #: cross-process cache slab geometry
+    cache_slots: int = 256
+    cache_slot_size: int = 8192
+    #: database subset + shard count for the cross-process cache check
+    cache_database_size: int = 400
+    cache_shards: int = 2
+    seed: int = 7
+
+
+#: Sharded scatter-gather workload (bench_shards.py -> BENCH_shards.json).
+SHARDS = ShardsBenchConfig()
+SHARDS_BENCH_JSON = REPO_ROOT / "BENCH_shards.json"
+SHARDS_BENCH_SCHEMA = "shards-bench-v1"
+
 _QUICK = False
 #: figure name -> JSON-able series dict, flushed to BENCH_ctree.json
 _FIGURES: dict[str, dict] = {}
@@ -172,7 +218,7 @@ def pytest_addoption(parser):
 
 def pytest_configure(config):
     global _QUICK, CHEM_SWEEP, SYNTH_SWEEP, INDEX_SIZE, MAPPING_QUALITY, KNN
-    global ENGINE, SERVER, CHURN
+    global ENGINE, SERVER, CHURN, SHARDS
     if not config.getoption("--quick", default=False):
         return
     _QUICK = True
@@ -202,6 +248,10 @@ def pytest_configure(config):
     )
     CHURN = replace(
         CHURN, database_size=60, rounds=3, churn_batch=10, queries=3,
+    )
+    SHARDS = replace(
+        SHARDS, database_size=200, subgraph_queries=6, knn_queries=2,
+        cache_database_size=120,
     )
 
 
@@ -248,6 +298,145 @@ def validate_chrome_trace(payload: dict) -> int:
         args = event.get("args", {})
         assert "span_id" in args, "span_id arg required for ancestry"
     return len(events)
+
+
+# ----------------------------------------------------------------------
+# Telemetry validation (shared by the CI bench-smoke job)
+# ----------------------------------------------------------------------
+def _require(condition, message: str) -> None:
+    """One shared assertion primitive for every telemetry validator."""
+    if not condition:
+        raise AssertionError(message)
+
+
+def validate_figures_payload(payload: dict) -> str:
+    """Gate BENCH_ctree.json: every figure carries aligned series."""
+    figures = payload["figures"]
+    _require(bool(figures), "no figures recorded")
+    for name, fig in figures.items():
+        for key in ("title", "x_name", "x", "series"):
+            _require(key in fig, f"{name} missing {key}")
+        for series_name, values in fig["series"].items():
+            _require(len(values) == len(fig["x"]),
+                     f"{name}/{series_name}: series length mismatch")
+    return f"BENCH_ctree.json OK: {sorted(figures)}"
+
+
+def validate_engine_payload(payload: dict) -> str:
+    """Gate BENCH_engine.json: identical answers at every worker
+    count."""
+    _require(bool(payload["runs"]), "no engine runs recorded")
+    _require(all(run["identical"] for run in payload["runs"]),
+             "engine answers diverged from the serial loop")
+    _require(payload["gate"]["identical_all"] is True,
+             "identical_all gate not set")
+    return (f"BENCH_engine.json OK: "
+            f"{[run['workers'] for run in payload['runs']]} workers, "
+            f"best speedup {payload['gate']['achieved_speedup']:.2f}x")
+
+
+def validate_server_payload(payload: dict) -> str:
+    """Gate BENCH_server.json: identical answers, coalescing, tracing
+    overhead under its cap."""
+    _require(payload["gate"]["identical_answers"] is True,
+             "HTTP answers diverged from the serial loop")
+    _require(payload["gate"]["coalesced"] is True, "no coalescing")
+    coalescing = payload["coalescing"]
+    _require(coalescing["batches"] < coalescing["requests"],
+             "batches not fewer than requests")
+    overhead = payload["tracing_overhead"]
+    _require(payload["gate"]["tracing_overhead_under_cap"] is True,
+             "tracing overhead gate not set")
+    _require(overhead["fraction_of_latency"] < overhead["cap"],
+             "tracing overhead above cap")
+    return (f"BENCH_server.json OK: {coalescing['requests']} requests "
+            f"in {coalescing['batches']} batches "
+            f"(mean size {coalescing['mean_batch_size']:.1f}), "
+            f"disabled tracing at "
+            f"{overhead['fraction_of_latency']:.4%} of mean latency")
+
+
+def validate_churn_payload(payload: dict) -> str:
+    """Gate BENCH_churn.json: zero rebuilds, compaction fired and
+    restored occupancy, final fsck clean."""
+    _require(bool(payload["rounds_detail"]), "no churn rounds recorded")
+    gate = payload["gate"]
+    _require(gate["rebuilds"] == 0, "churn fell back to a rebuild")
+    _require(gate["deletes"] > 0 and gate["group_commits"] > 0,
+             "no deletes or no group commits recorded")
+    _require(gate["compactions"] >= 1, "no compaction fired")
+    _require(gate["fsck_clean"] is True, "final fsck not clean")
+    compaction = payload["compaction"]
+    _require(compaction["restored_occupancy"] >
+             compaction["degraded_occupancy"],
+             "compaction failed to restore occupancy")
+    return (f"BENCH_churn.json OK: {len(payload['rounds_detail'])} "
+            f"rounds, {gate['deletes']} deletes, 0 rebuilds, "
+            f"query ratio {gate['query_ratio']:.2f}, occupancy "
+            f"{compaction['degraded_occupancy']:.2f} -> "
+            f"{compaction['restored_occupancy']:.2f}")
+
+
+def validate_shards_payload(payload: dict) -> str:
+    """Gate BENCH_shards.json: bit-identical answers at every shard
+    count, balanced candidate work under closure placement, and a
+    cross-process cache hit that touched no shard."""
+    _require(bool(payload["runs"]), "no sharded runs recorded")
+    _require(all(run["identical"] for run in payload["runs"]),
+             "sharded answers diverged from the single-tree serial loop")
+    gate = payload["gate"]
+    _require(gate["identical_all"] is True, "identical_all gate not set")
+    _require(gate["balance_skew"] <= gate["max_skew"],
+             f"closure-placement candidate work skew "
+             f"{gate['balance_skew']:.3f}x exceeds {gate['max_skew']}x")
+    cross = payload["cross_process_cache"]
+    _require(gate["cross_process_hit"] is True
+             and cross["cache_hits"] >= 1,
+             "second engine process saw no cross-process cache hit")
+    _require(gate["second_engine_touched_shards"] is False
+             and cross["pools_forked"] is False
+             and cross["dispatched"] == 0,
+             "second engine process touched a shard on a warm batch")
+    _require(cross["identical"] is True,
+             "cross-process cached answers diverged")
+    return (f"BENCH_shards.json OK: S={[r['shards'] for r in payload['runs']]} "
+            f"identical, closure skew {gate['balance_skew']:.3f}x "
+            f"(cap {gate['max_skew']}x), {cross['cache_hits']} "
+            f"cross-process hits with 0 shard tasks")
+
+
+#: BENCH file name -> (expected schema, gate validator).  One table
+#: drives both local full-scale validation and CI's bench-smoke step —
+#: the single source of truth for what each telemetry file must prove.
+BENCH_VALIDATORS = {
+    BENCH_JSON.name: (BENCH_SCHEMA, validate_figures_payload),
+    ENGINE_BENCH_JSON.name: (ENGINE_BENCH_SCHEMA, validate_engine_payload),
+    SERVER_BENCH_JSON.name: (SERVER_BENCH_SCHEMA, validate_server_payload),
+    CHURN_BENCH_JSON.name: (CHURN_BENCH_SCHEMA, validate_churn_payload),
+    SHARDS_BENCH_JSON.name: (SHARDS_BENCH_SCHEMA, validate_shards_payload),
+}
+
+
+def validate_bench_file(path, expect_quick: bool | None = None) -> str:
+    """Load one ``BENCH_*.json``, check its schema tag and gates.
+
+    Returns the validator's one-line summary (CI prints it).  Pass
+    ``expect_quick`` to additionally pin the payload's ``quick`` flag —
+    the bench-smoke job passes ``True`` so a stale full-scale file can
+    never satisfy the smoke run.
+    """
+    path = Path(path)
+    schema, validator = BENCH_VALIDATORS[path.name]
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    _require(payload.get("schema") == schema,
+             f"{path.name}: schema {payload.get('schema')!r}, "
+             f"expected {schema!r}")
+    if expect_quick is not None:
+        _require(payload.get("quick") is expect_quick,
+                 f"{path.name}: quick={payload.get('quick')!r}, "
+                 f"expected {expect_quick}")
+    return validator(payload)
 
 
 def record_figure(

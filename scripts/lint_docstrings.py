@@ -40,6 +40,8 @@ DEFAULT_PATHS = (
     "src/repro/storage",
     "src/repro/ctree/diskindex.py",
     "src/repro/ctree/policies.py",
+    "src/repro/ctree/shards.py",
+    "src/repro/ctree/shardcache.py",
 )
 
 

@@ -6,7 +6,12 @@ Gives the library's main workflows a shell-level surface:
 - ``build``    — build a C-tree over a database and save it (JSON snapshot
   or a page-file disk index);
 - ``query``    — run a subgraph query (or a JSONL batch of them, with
-  ``--batch``/``--workers``) against a saved index;
+  ``--batch``/``--workers``) against a saved index; ``--shards S`` (or
+  a shard directory as the index) answers through the scatter-gather
+  engine;
+- ``shard``    — partition a database into a directory of per-shard
+  ``.ctp`` indexes plus a placement manifest (``--create``), or
+  summarize one (``--stats``);
 - ``knn`` / ``range`` — similarity queries against a saved index;
 - ``bench``    — serve a JSONL query batch serially and through the
   batched engine at several worker counts, verify the answers are
@@ -18,7 +23,8 @@ Gives the library's main workflows a shell-level surface:
 - ``recover``  — replay a disk index's write-ahead log after a crash and
   validate the result;
 - ``fsck``     — integrity-check a disk index (checksums, page
-  accounting, closure containment);
+  accounting, closure containment) or a shard directory (per-shard
+  fsck plus placement-manifest verification);
 - ``trace``    — run a subgraph query with span tracing on, writing a
   JSONL or Chrome trace-event file (or summarize/convert an existing
   trace file);
@@ -53,6 +59,14 @@ from repro.ctree.diskindex import (
 )
 from repro.ctree.parallel import QueryEngine
 from repro.ctree.persistence import index_size_bytes, load_tree, save_tree
+from repro.ctree.shards import (
+    MANIFEST_NAME,
+    PLACEMENTS,
+    ShardSet,
+    ShardedEngine,
+    fsck_shards,
+    merge_subgraph,
+)
 from repro.ctree.similarity_query import knn_query, range_query
 from repro.ctree.subgraph_query import subgraph_query
 from repro.datasets.chemical import generate_chemical_database
@@ -77,11 +91,47 @@ def _load_query_graph(spec: str) -> Graph:
         raise SystemExit(f"error: malformed query graph: {exc}")
 
 
+def _is_shard_dir(path: str) -> bool:
+    """True when ``path`` is a shard directory (``manifest.json``
+    written by ``repro shard --create``)."""
+    p = Path(path)
+    return p.is_dir() and (p / MANIFEST_NAME).is_file()
+
+
 def _open_index(path: str, cache_pages: int):
-    """A saved index is either a JSON snapshot or a page file."""
+    """A saved index is a JSON snapshot, a ``.ctp`` page file, or a
+    shard directory."""
+    if _is_shard_dir(path):
+        return ShardSet.open(path)
     if path.endswith(".ctp"):
         return DiskCTree.open(path, cache_pages=cache_pages)
     return load_tree(path)
+
+
+def _maybe_shard(index, args):
+    """Re-partition a single-tree index when ``--shards S`` asks for it.
+
+    A shard directory is already a :class:`ShardSet`; otherwise
+    ``S > 1`` builds an in-memory partition over the open index (the
+    original handle stays owned by — and is closed by — the caller).
+    """
+    shards = getattr(args, "shards", 1)
+    if isinstance(index, ShardSet) or shards <= 1:
+        return index
+    return ShardSet.from_index(index, shards,
+                               placement=getattr(args, "placement",
+                                                 "closure"))
+
+
+def _query_once(index, query, level, verify: bool, cache_pages: int):
+    """One subgraph query against any index kind (tree/disk/sharded)."""
+    if isinstance(index, ShardSet):
+        with ShardedEngine(index, cache_pages=cache_pages) as engine:
+            return engine.query_many([query], level=level,
+                                     verify=verify)[0]
+    if isinstance(index, DiskCTree):
+        return index.subgraph_query(query, level=level, verify=verify)
+    return subgraph_query(index, query, level=level, verify=verify)
 
 
 # ----------------------------------------------------------------------
@@ -210,22 +260,18 @@ def cmd_query(args: argparse.Namespace) -> int:
     if bool(args.query) == bool(args.batch):
         raise SystemExit("error: provide exactly one of -q/--query "
                          "or --batch")
-    index = _open_index(args.tree, args.cache_pages)
+    base = _open_index(args.tree, args.cache_pages)
     try:
+        index = _maybe_shard(base, args)
         if args.batch:
             return _run_query_batch(args, index)
         query = _load_query_graph(args.query)
-        if isinstance(index, DiskCTree):
-            answers, stats = index.subgraph_query(
-                query, level=args.level, verify=not args.no_verify
-            )
-        else:
-            answers, stats = subgraph_query(
-                index, query, level=args.level, verify=not args.no_verify
-            )
+        answers, stats = _query_once(
+            index, query, args.level, not args.no_verify, args.cache_pages
+        )
     finally:
-        if isinstance(index, DiskCTree):
-            index.close()
+        if isinstance(base, DiskCTree):
+            base.close()
     label = "candidates" if args.no_verify else "answers"
     print(f"{label}: {sorted(answers)}")
     print(
@@ -243,9 +289,14 @@ def _run_query_batch(args: argparse.Namespace, index) -> int:
     if not queries:
         print("empty batch")
         return 0
-    with QueryEngine(index, workers=args.workers,
-                     cache_size=args.cache_size,
-                     cache_pages=args.cache_pages) as engine:
+    if isinstance(index, ShardSet):
+        engine_cm = ShardedEngine(index, cache_size=args.cache_size,
+                                  cache_pages=args.cache_pages)
+    else:
+        engine_cm = QueryEngine(index, workers=args.workers,
+                                cache_size=args.cache_size,
+                                cache_pages=args.cache_pages)
+    with engine_cm as engine:
         results = engine.query_many(
             queries, level=args.level, verify=not args.no_verify
         )
@@ -261,9 +312,32 @@ def _run_query_batch(args: argparse.Namespace, index) -> int:
     return 0
 
 
+def _sharded_serial_baseline(shardset: ShardSet, queries, level):
+    """The serial reference for a shard directory: every shard queried
+    in-process, answers merged to the canonical (sorted) form."""
+    handles = shardset.open_local()
+    try:
+        serial = []
+        for q in queries:
+            per_shard = []
+            for handle in handles:
+                if isinstance(handle, DiskCTree):
+                    answers, _ = handle.subgraph_query(q, level=level)
+                else:
+                    answers, _ = subgraph_query(handle, q, level=level)
+                per_shard.append(answers)
+            serial.append(merge_subgraph(per_shard, shardset))
+        return serial
+    finally:
+        for handle, shard in zip(handles, shardset.shards):
+            if shard.tree is None:
+                handle.close()
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Serve one query batch serially and through the engine at each
-    requested worker count; gate on identical answers."""
+    requested worker count (or across all shards with ``--shards`` /
+    a shard directory); gate on identical answers."""
     queries = load_graph_database(args.queries)
     if not queries:
         raise SystemExit("error: empty query batch")
@@ -271,47 +345,80 @@ def cmd_bench(args: argparse.Namespace) -> int:
         workers_list = [int(w) for w in args.workers.split(",")]
     except ValueError:
         raise SystemExit(f"error: bad --workers list: {args.workers!r}")
-    index = _open_index(args.tree, args.cache_pages)
+    base = _open_index(args.tree, args.cache_pages)
     rows = []
     try:
+        index = _maybe_shard(base, args)
+        sharded = isinstance(index, ShardSet)
         start = time.perf_counter()
-        if isinstance(index, DiskCTree):
-            serial = [index.subgraph_query(q, level=args.level)
-                      for q in queries]
+        if isinstance(base, ShardSet):
+            baseline = _sharded_serial_baseline(base, queries, args.level)
+        elif isinstance(base, DiskCTree):
+            baseline = [base.subgraph_query(q, level=args.level)[0]
+                        for q in queries]
         else:
-            serial = [subgraph_query(index, q, level=args.level)
-                      for q in queries]
+            baseline = [subgraph_query(base, q, level=args.level)[0]
+                        for q in queries]
         serial_seconds = time.perf_counter() - start
-        baseline = [answers for answers, _ in serial]
+        if sharded:
+            # Sharded answers come back in canonical sorted form; the
+            # identical-answers gate compares set content, not the
+            # single tree's traversal order.
+            baseline = [sorted(answers) for answers in baseline]
         print(f"serial loop: {len(queries)} queries in "
               f"{serial_seconds:.3f}s "
               f"({len(queries) / serial_seconds:.1f} q/s)")
-        for w in workers_list:
-            with QueryEngine(index, workers=w, cache_size=args.cache_size,
-                             cache_pages=args.cache_pages) as engine:
+        if sharded:
+            with ShardedEngine(index, cache_size=args.cache_size,
+                               cache_pages=args.cache_pages) as engine:
                 results = engine.query_many(queries, level=args.level)
                 report = engine.last_batch
             identical = [answers for answers, _ in results] == baseline
             speedup = (serial_seconds / report.wall_seconds
                        if report.wall_seconds else 0.0)
             rows.append({
-                "workers": w, "seconds": report.wall_seconds,
+                "workers": report.workers, "shards": index.shard_count,
+                "seconds": report.wall_seconds,
                 "throughput": report.throughput, "speedup": speedup,
                 "cache_hit_rate": report.cache_hit_rate,
                 "dispatched": report.dispatched, "identical": identical,
             })
-            print(f"workers={w}: {report.wall_seconds:.3f}s "
+            print(f"shards={index.shard_count}: "
+                  f"{report.wall_seconds:.3f}s "
                   f"({report.throughput:.1f} q/s, {speedup:.2f}x serial) "
                   f"hit_rate={report.cache_hit_rate:.0%} "
                   f"identical={'yes' if identical else 'NO'}")
+        else:
+            for w in workers_list:
+                with QueryEngine(index, workers=w,
+                                 cache_size=args.cache_size,
+                                 cache_pages=args.cache_pages) as engine:
+                    results = engine.query_many(queries, level=args.level)
+                    report = engine.last_batch
+                identical = [answers for answers, _ in results] == baseline
+                speedup = (serial_seconds / report.wall_seconds
+                           if report.wall_seconds else 0.0)
+                rows.append({
+                    "workers": w, "seconds": report.wall_seconds,
+                    "throughput": report.throughput, "speedup": speedup,
+                    "cache_hit_rate": report.cache_hit_rate,
+                    "dispatched": report.dispatched,
+                    "identical": identical,
+                })
+                print(f"workers={w}: {report.wall_seconds:.3f}s "
+                      f"({report.throughput:.1f} q/s, "
+                      f"{speedup:.2f}x serial) "
+                      f"hit_rate={report.cache_hit_rate:.0%} "
+                      f"identical={'yes' if identical else 'NO'}")
     finally:
-        if isinstance(index, DiskCTree):
-            index.close()
+        if isinstance(base, DiskCTree):
+            base.close()
     if args.json:
         payload = {
             "queries": len(queries),
             "level": str(args.level),
             "cache_size": args.cache_size,
+            "shards": index.shard_count if sharded else 1,
             "serial_seconds": serial_seconds,
             "runs": rows,
         }
@@ -330,7 +437,12 @@ def cmd_knn(args: argparse.Namespace) -> int:
     query = _load_query_graph(args.query)
     index = _open_index(args.tree, args.cache_pages)
     try:
-        if isinstance(index, DiskCTree):
+        if isinstance(index, ShardSet):
+            with ShardedEngine(index,
+                               cache_pages=args.cache_pages) as engine:
+                results, stats = engine.knn_many([query], args.k)[0]
+            name_of = lambda gid: f"graph-{gid}"
+        elif isinstance(index, DiskCTree):
             results, stats = index.knn_query(query, args.k)
             names = dict(index.iter_graphs())
             name_of = lambda gid: names[gid].name or f"graph-{gid}"
@@ -364,12 +476,8 @@ def _run_subgraph_query(args: argparse.Namespace):
     query = _load_query_graph(args.query)
     index = _open_index(args.tree, args.cache_pages)
     try:
-        if isinstance(index, DiskCTree):
-            return index.subgraph_query(
-                query, level=args.level, verify=not args.no_verify
-            )
-        return subgraph_query(
-            index, query, level=args.level, verify=not args.no_verify
+        return _query_once(
+            index, query, args.level, not args.no_verify, args.cache_pages
         )
     finally:
         if isinstance(index, DiskCTree):
@@ -496,17 +604,18 @@ def cmd_explain(args: argparse.Namespace) -> int:
     index = _open_index(args.tree, args.cache_pages)
     try:
         if args.knn:
-            if isinstance(index, DiskCTree):
+            if isinstance(index, ShardSet):
+                with ShardedEngine(
+                        index, cache_pages=args.cache_pages) as engine:
+                    answers, stats = engine.knn_many([query], args.k)[0]
+            elif isinstance(index, DiskCTree):
                 answers, stats = index.knn_query(query, args.k)
             else:
                 answers, stats = knn_query(index, query, args.k)
-        elif isinstance(index, DiskCTree):
-            answers, stats = index.subgraph_query(
-                query, level=args.level, verify=not args.no_verify
-            )
         else:
-            answers, stats = subgraph_query(
-                index, query, level=args.level, verify=not args.no_verify
+            answers, stats = _query_once(
+                index, query, args.level, not args.no_verify,
+                args.cache_pages,
             )
     finally:
         if isinstance(index, DiskCTree):
@@ -565,14 +674,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: HTTP serving layer over a saved index."""
     from repro.server import QueryServer, ServerConfig
 
-    if args.tree.endswith(".ctp"):
+    if _is_shard_dir(args.tree):
+        base = ShardSet.open(args.tree)
+    elif args.tree.endswith(".ctp"):
         # The server never writes: open without a WAL handle, and make a
         # crashed index an explicit operator action rather than a silent
         # auto-recovery at serve time.
-        index = DiskCTree.open(args.tree, cache_pages=args.cache_pages,
-                               wal=False, auto_recover=False)
+        base = DiskCTree.open(args.tree, cache_pages=args.cache_pages,
+                              wal=False, auto_recover=False)
     else:
-        index = load_tree(args.tree)
+        base = load_tree(args.tree)
+    index = _maybe_shard(base, args)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -592,13 +704,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.serve_forever()
     finally:
-        if isinstance(index, DiskCTree):
-            index.close()
+        if isinstance(base, DiskCTree):
+            base.close()
     return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
     path = args.input
+    if _is_shard_dir(path):
+        sset = ShardSet.open(path)
+        desc = sset.describe()
+        print(f"sharded {desc['backend']} index: |D|={desc['total_graphs']} "
+              f"shards={desc['shards']} placement={desc['placement']}")
+        print(f"shard sizes: {desc['shard_sizes']}")
+        return 0
     if path.endswith(".ctp"):
         with DiskCTree.open(path) as disk:
             print(f"disk C-tree index: |D|={len(disk)} height={disk.height} "
@@ -637,6 +756,18 @@ def cmd_recover(args: argparse.Namespace) -> int:
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
+    if _is_shard_dir(args.input):
+        report = fsck_shards(args.input, deep=args.deep)
+        print(report.summary())
+        for shard_report in report.reports:
+            print(f"  {shard_report.summary()}")
+            for note in shard_report.notes:
+                print(f"  note: {note}")
+            for error in shard_report.errors:
+                print(f"  error: {error}")
+        for error in report.errors:
+            print(f"error: {error}")
+        return 0 if report.clean else 1
     report = DiskCTree.fsck(args.input, deep=args.deep)
     print(report.summary())
     for note in report.notes:
@@ -644,6 +775,46 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     for error in report.errors:
         print(f"error: {error}")
     return 0 if report.clean else 1
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    """``repro shard``: partition a database into a shard directory
+    (``--create``) or summarize an existing one (``--stats``)."""
+    if args.create:
+        if not args.input:
+            raise SystemExit("error: --create requires -i/--input")
+        graphs = load_graph_database(args.input)
+        if not graphs:
+            raise SystemExit("error: empty database")
+        start = time.perf_counter()
+        sset = ShardSet.create(
+            graphs, args.directory,
+            shards=args.shards,
+            placement=args.placement,
+            min_fanout=args.min_fanout,
+            mapping_method=args.mapping,
+            page_size=args.page_size,
+        )
+        seconds = time.perf_counter() - start
+        print(f"wrote {sset.shard_count} shards over {len(sset)} graphs "
+              f"({args.placement} placement) in {seconds:.2f}s "
+              f"-> {args.directory}")
+        print(f"shard sizes: {sset.shard_sizes()}")
+        return 0
+    sset = ShardSet.open(args.directory)
+    desc = sset.describe()
+    if args.json:
+        print(json.dumps(desc, indent=2, sort_keys=True))
+        return 0
+    print(f"shard directory {args.directory}: "
+          f"{desc['total_graphs']} graphs over {desc['shards']} shards "
+          f"({desc['placement']} placement, {desc['backend']} backend)")
+    sizes = desc["shard_sizes"]
+    mean = sum(sizes) / len(sizes)
+    for s, size in enumerate(sizes):
+        print(f"  shard {s:3d}: {size} graphs "
+              f"({size / mean:.2f}x the even share)")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -736,7 +907,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("query", help="subgraph query against a saved index")
     p.add_argument("-t", "--tree", required=True,
-                   help="*.json snapshot or *.ctp disk index")
+                   help="*.json snapshot, *.ctp disk index, or shard "
+                        "directory")
     p.add_argument("-q", "--query",
                    help="query graph as JSON, or @file.json")
     p.add_argument("--batch",
@@ -750,6 +922,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pseudo-iso level (int or 'max')")
     p.add_argument("--no-verify", action="store_true",
                    help="return unverified candidates")
+    p.add_argument("--shards", type=int, default=1,
+                   help="re-partition the index into S in-memory shards "
+                        "and answer through the scatter-gather engine "
+                        "(a shard directory as -t implies this)")
+    p.add_argument("--placement", choices=list(PLACEMENTS),
+                   default="closure",
+                   help="--shards placement strategy (default closure)")
     p.add_argument("--cache-pages", type=int, default=128)
     p.set_defaults(func=cmd_query)
 
@@ -759,20 +938,32 @@ def build_parser() -> argparse.ArgumentParser:
              "identical-answers gate",
     )
     p.add_argument("-t", "--tree", required=True,
-                   help="*.json snapshot or *.ctp disk index")
+                   help="*.json snapshot, *.ctp disk index, or shard "
+                        "directory")
     p.add_argument("-i", "--queries", required=True,
                    help="JSONL file of query graphs")
     p.add_argument("--workers", default="1,2,4",
-                   help="comma-separated worker counts (default 1,2,4)")
+                   help="comma-separated worker counts (default 1,2,4; "
+                        "ignored in sharded mode, where the worker "
+                        "count is the shard count)")
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--level", type=_parse_level, default=1)
+    p.add_argument("--shards", type=int, default=1,
+                   help="re-partition the index into S in-memory shards "
+                        "and bench the scatter-gather engine against "
+                        "the single-tree serial loop")
+    p.add_argument("--placement", choices=list(PLACEMENTS),
+                   default="closure",
+                   help="--shards placement strategy (default closure)")
     p.add_argument("--json", help="write the results table here as JSON")
     p.add_argument("--cache-pages", type=int, default=128)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("knn", help="K nearest neighbors of a query graph")
     p.add_argument("-t", "--tree", required=True,
-                   help="*.json snapshot or *.ctp disk index")
+                   help="*.json snapshot, *.ctp disk index, or shard "
+                        "directory (shards answer in canonical "
+                        "(-similarity, id) tie order)")
     p.add_argument("-q", "--query", required=True)
     p.add_argument("-k", type=int, default=5)
     p.add_argument("--cache-pages", type=int, default=128)
@@ -853,12 +1044,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="HTTP server over a saved index (see docs/SERVING.md)",
     )
     p.add_argument("-t", "--tree", required=True,
-                   help="*.json snapshot or *.ctp disk index")
+                   help="*.json snapshot, *.ctp disk index, or shard "
+                        "directory")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8744,
                    help="TCP port (0 binds an ephemeral port)")
     p.add_argument("--workers", type=int, default=1,
-                   help="engine worker processes (default 1)")
+                   help="engine worker processes (default 1; ignored "
+                        "when serving shards — one worker per shard)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="serve through the sharded engine over S "
+                        "in-memory shards (a shard directory as -t "
+                        "implies sharded serving)")
+    p.add_argument("--placement", choices=list(PLACEMENTS),
+                   default="closure",
+                   help="--shards placement strategy (default closure)")
     p.add_argument("--cache-size", type=int, default=256,
                    help="LRU answer-cache capacity (0 disables)")
     p.add_argument("--window-ms", type=float, default=10.0,
@@ -883,9 +1083,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-pages", type=int, default=128)
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser(
+        "shard",
+        help="partition a database into a shard directory of per-shard "
+             ".ctp indexes, or summarize one (see docs/PERFORMANCE.md)",
+    )
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--create", action="store_true",
+                      help="build the shard directory from -i/--input")
+    mode.add_argument("--stats", action="store_true",
+                      help="print placement and balance of an existing "
+                           "shard directory")
+    p.add_argument("-d", "--directory", required=True,
+                   help="the shard directory (created by --create)")
+    p.add_argument("-i", "--input",
+                   help="JSONL database to partition (--create)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="number of shards S (default 4)")
+    p.add_argument("--placement", choices=list(PLACEMENTS),
+                   default="closure",
+                   help="placement strategy: 'closure' clusters similar "
+                        "graphs onto the same shard, 'hash' round-robins "
+                        "by id (default closure)")
+    p.add_argument("--min-fanout", type=int, default=10)
+    p.add_argument("--mapping", default="nbm",
+                   choices=["nbm", "bipartite", "bipartite_unweighted"])
+    p.add_argument("--page-size", type=int, default=4096)
+    p.add_argument("--json", action="store_true",
+                   help="--stats: print the summary as JSON")
+    p.set_defaults(func=cmd_shard)
+
     p = sub.add_parser("info", help="statistics of a database or index")
     p.add_argument("-i", "--input", required=True,
-                   help="*.jsonl database, *.json snapshot or *.ctp index")
+                   help="*.jsonl database, *.json snapshot, *.ctp index "
+                        "or shard directory")
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser(
@@ -899,9 +1130,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "fsck",
-        help="integrity-check a disk index without modifying it",
+        help="integrity-check a disk index or shard directory without "
+             "modifying it",
     )
-    p.add_argument("-i", "--input", required=True, help="*.ctp disk index")
+    p.add_argument("-i", "--input", required=True,
+                   help="*.ctp disk index or shard directory (per-shard "
+                        "fsck plus placement-manifest verification)")
     p.add_argument("--deep", action="store_true",
                    help="also pseudo-match leaf graphs into their closures")
     p.set_defaults(func=cmd_fsck)

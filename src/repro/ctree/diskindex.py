@@ -1343,12 +1343,17 @@ class DiskCTree:
         query: Graph,
         k: int,
         mapping_method: str = "nbm",
+        canonical: bool = False,
+        bound: float = float("-inf"),
     ) -> tuple[list[tuple[int, float]], "DiskKnnStats"]:
         """The K most similar stored graphs, reading records on demand.
 
         Same incremental-ranking scheme as the in-memory
         :func:`~repro.ctree.similarity_query.knn_query`, with page I/O
-        deltas reported in the stats.
+        deltas reported in the stats.  ``canonical`` and ``bound`` carry
+        the same semantics as there: tie-stable ``(-sim, id)`` ordering
+        for the sharded merge layer, and an external kth-best floor the
+        coordinator pushes down so shards prune early.
         """
         import heapq
         import itertools
@@ -1371,11 +1376,15 @@ class DiskCTree:
             counter = itertools.count()
             _NODE, _GRAPH_BOUND, _GRAPH_EXACT = 0, 1, 2
             heap: list[tuple[float, int, int, object]] = []
-            heapq.heappush(heap,
-                           (0.0, next(counter), _NODE, self._meta["root"]))
+            # Infinite key: no external ``bound`` may prune the root.
+            heapq.heappush(
+                heap,
+                (float("-inf"), next(counter), _NODE, self._meta["root"]),
+            )
 
             best_k: list[float] = []
-            lower_bound = float("-inf")
+            floor = bound
+            lower_bound = floor
 
             def note_similarity(sim: float) -> None:
                 nonlocal lower_bound
@@ -1384,10 +1393,18 @@ class DiskCTree:
                 else:
                     heapq.heappushpop(best_k, sim)
                 if len(best_k) >= k:
-                    lower_bound = best_k[0]
+                    lower_bound = max(best_k[0], floor)
 
             results: list[tuple[int, float]] = []
-            while heap and len(results) < k:
+            while heap:
+                if len(results) >= k:
+                    if not canonical:
+                        break
+                    # Canonical mode drains boundary ties before cutting:
+                    # the heap pops in decreasing key order, so the first
+                    # key strictly below the kth-best similarity is final.
+                    if -heap[0][0] < results[k - 1][1]:
+                        break
                 neg_key, _, kind, payload = heapq.heappop(heap)
                 if -neg_key < lower_bound:
                     stats.pruned_by_bound += 1
@@ -1446,6 +1463,12 @@ class DiskCTree:
                                 )
                         sp.set(leaf=record["leaf"])
 
+            if canonical:
+                # Total order (sim desc, id asc), independent of
+                # traversal order — see the in-memory counterpart.
+                results.sort(key=lambda t: (-t[1], t[0]))
+                del results[k:]
+                stats.results = len(results)
             stats.seconds = time.perf_counter() - start
             stats.page_hits = pool.hits - hits0
             stats.page_misses = pool.misses - misses0

@@ -60,6 +60,8 @@ from repro.graphs.graph import Graph
 from repro.obs import trace
 from repro.obs.metrics import global_registry
 from repro.ctree.diskindex import DiskCTree
+from repro.ctree.shardcache import LRUAnswerCache
+from repro.ctree.shardcache import structure_key as _structure_key
 from repro.ctree.similarity_query import knn_query
 from repro.ctree.stats import KnnStats, QueryStats
 from repro.ctree.subgraph_query import subgraph_query
@@ -170,15 +172,6 @@ def _worker_run(task):
     return (task_id, answers, stats, registry.diff(before), busy, spans)
 
 
-def _structure_key(graph: Graph) -> tuple:
-    """An exact structural identity key (order-normalized), used to
-    deduplicate repeated queries within a batch."""
-    return (
-        tuple(repr(graph.label(v)) for v in graph.vertices()),
-        tuple(sorted((u, v, repr(label)) for u, v, label in graph.edges())),
-    )
-
-
 @dataclass
 class BatchReport:
     """What one ``query_many``/``knn_many`` call did (also folded into
@@ -229,6 +222,22 @@ class QueryEngine:
         answer cache and batch deduplication — every query executes.
     cache_pages:
         Buffer-pool capacity of each per-worker disk handle.
+    cache:
+        An injected answer-cache object (anything with the
+        :mod:`repro.ctree.shardcache` interface — ``get``/``put``/
+        ``clear``/``entries``/``enabled``).  Overrides ``cache_size``;
+        pass a :class:`~repro.ctree.shardcache.SharedMemoryAnswerCache`
+        to share answers across engine processes.  The default is the
+        historical in-process :class:`~repro.ctree.shardcache.\
+LRUAnswerCache` — behavior unchanged.
+    shards:
+        With ``shards > 1`` the engine re-partitions the index into S
+        in-memory C-trees and delegates every batch to a
+        :class:`~repro.ctree.shards.ShardedEngine` (one worker process
+        per shard, scatter-gather merge).  Answers then follow the
+        sharded canonical forms: subgraph answer lists sorted by graph
+        id, K-NN in ``(-similarity, id)`` tie order.  ``workers`` is
+        ignored on this path — fan-out is per shard.
 
     Use as a context manager, or call :meth:`close` to reap the pool.
 
@@ -259,15 +268,24 @@ class QueryEngine:
         workers: int = 1,
         cache_size: int = 256,
         cache_pages: int = 128,
+        cache=None,
+        shards: int = 1,
     ) -> None:
         self._index = index
         self.workers = max(1, int(workers))
-        self._cache_size = max(0, int(cache_size))
         self._cache_pages = cache_pages
-        #: (kind, params, signature) -> [(query, answers, stats), ...]
-        self._cache: "OrderedDict[tuple, list]" = OrderedDict()
-        #: total cached entries across all signature buckets
-        self._entries = 0
+        #: the answer cache — injected, or the historical in-process LRU
+        self._cache = cache if cache is not None \
+            else LRUAnswerCache(cache_size)
+        self._sharded = None
+        if shards > 1:
+            # Lazy import: shards.py composes this module's BatchReport.
+            from repro.ctree.shards import ShardSet, ShardedEngine
+
+            self._sharded = ShardedEngine(
+                ShardSet.from_index(index, shards),
+                cache=self._cache, cache_pages=cache_pages,
+            )
         self._pool = None
         self._pool_workers = 0
         #: bumped by refresh(); rides on every task so pre-forked disk
@@ -308,6 +326,11 @@ class QueryEngine:
                     print(sorted(answers), stats.candidates)
             # identical to: [subgraph_query(tree, q) for q in queries]
         """
+        if self._sharded is not None:
+            results = self._sharded.query_many(queries, level=level,
+                                               verify=verify)
+            self.last_batch = self._sharded.last_batch
+            return results
         return self._run_batch(
             _KIND_SUBGRAPH, queries, (level, verify), workers
         )
@@ -334,6 +357,11 @@ class QueryEngine:
                 (neighbors, stats), = engine.knn_many([probe], k=5)
                 best_id, best_sim = neighbors[0]
         """
+        if self._sharded is not None:
+            results = self._sharded.knn_many(queries, k,
+                                             mapping_method=mapping_method)
+            self.last_batch = self._sharded.last_batch
+            return results
         return self._run_batch(_KIND_KNN, queries, (k, mapping_method),
                                workers)
 
@@ -354,6 +382,9 @@ class QueryEngine:
             engine = QueryEngine(tree, workers=4).start()  # forks now
             engine.query_many(batch)                       # no fork here
         """
+        if self._sharded is not None:
+            self._sharded.start()
+            return self
         if workers is not None:
             self.workers = max(1, int(workers))
         if self.workers > 1 and self._fork_ok:
@@ -377,7 +408,6 @@ class QueryEngine:
         invalidate anything it derived from the old index generation.
         """
         self._cache.clear()
-        self._entries = 0
         self._epoch += 1
         if isinstance(self._index, DiskCTree) and self._pool is not None:
             # Workers reopen lazily on the next task from this epoch.
@@ -397,6 +427,8 @@ class QueryEngine:
 
     def close(self) -> None:
         """Reap the worker pool (idempotent)."""
+        if self._sharded is not None:
+            self._sharded.close()
         self._close_pool()
 
     def __enter__(self) -> "QueryEngine":
@@ -425,13 +457,13 @@ class QueryEngine:
         with trace.span("engine.batch", kind=kind, queries=n,
                         workers=effective) as sp:
             for pos, query in enumerate(queries):
-                cached = self._cache_get(kind, params, query)
+                cached = self._cache.get(kind, params, query)
                 if cached is not None:
                     answers, stats = cached
                     results[pos] = (list(answers), stats.copy())
                     hits += 1
                     continue
-                if self._cache_size > 0:
+                if self._cache.enabled:
                     key = (query.signature(), _structure_key(query))
                 else:
                     key = pos  # dedup off: one task per position
@@ -455,7 +487,7 @@ class QueryEngine:
 
             for task_id, (query, positions) in enumerate(pending.values()):
                 answers, stats = executed[task_id]
-                self._cache_put(kind, params, query, answers, stats)
+                self._cache.put(kind, params, query, answers, stats)
                 for pos in positions:
                     results[pos] = (list(answers), stats.copy())
 
@@ -536,46 +568,10 @@ class QueryEngine:
             self._pool = None
             self._pool_workers = 0
 
-    # ------------------------------------------------------------------
-    # Answer cache
-    # ------------------------------------------------------------------
-    def _cache_get(self, kind, params, query):
-        if self._cache_size <= 0:
-            return None
-        bucket = self._cache.get((kind, params, query.signature()))
-        if not bucket:
-            return None
-        for stored, answers, stats in bucket:
-            # signature() is isomorphism-invariant but incomplete; the
-            # structural check makes a colliding non-equal query a miss,
-            # never a wrong answer.
-            if stored.structure_equal(query):
-                self._cache.move_to_end((kind, params, query.signature()))
-                return (answers, stats)
-        return None
-
-    def _cache_put(self, kind, params, query, answers, stats) -> None:
-        if self._cache_size <= 0:
-            return
-        key = (kind, params, query.signature())
-        bucket = self._cache.setdefault(key, [])
-        bucket.append((query.copy(), list(answers), stats.copy()))
-        self._cache.move_to_end(key)
-        self._entries += 1
-        # Evict by *entry*, oldest bucket first, so signature collisions
-        # (several structurally distinct queries in one bucket) cannot
-        # grow the cache past its configured capacity.
-        while self._entries > self._cache_size:
-            old_key, old_bucket = next(iter(self._cache.items()))
-            old_bucket.pop(0)
-            self._entries -= 1
-            if not old_bucket:
-                del self._cache[old_key]
-
     @property
     def cache_entries(self) -> int:
-        """Answers currently held by the LRU cache (across buckets)."""
-        return self._entries
+        """Answers currently held by the answer cache (across buckets)."""
+        return self._cache.entries
 
     # ------------------------------------------------------------------
     def _publish_batch(self, registry, report: BatchReport) -> None:

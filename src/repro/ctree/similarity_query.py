@@ -36,12 +36,27 @@ def knn_query(
     query: Graph,
     k: int,
     mapping_method: str = "nbm",
+    canonical: bool = False,
+    bound: float = float("-inf"),
 ) -> tuple[list[tuple[int, float]], KnnStats]:
     """The K nearest (most similar) graphs to ``query`` (Algorithm 4).
 
     Returns ``([(graph_id, similarity)...], stats)`` in decreasing
     similarity order (length ``min(k, |D|)``).  Similarities are computed
     with the configured heuristic mapping, exactly as in the paper.
+
+    ``canonical=True`` switches boundary ties from traversal order to the
+    total order ``(-similarity, graph_id)``: the heap loop keeps running
+    through graphs tied with the kth-best before cutting to ``k``, so the
+    result is a deterministic function of the database alone — the
+    contract :mod:`repro.ctree.shards` needs to merge per-shard top-k
+    lists.  The default preserves the historical (golden-pinned) order.
+
+    ``bound`` is an external lower bound on useful similarity: subtrees
+    and graphs strictly below it are pruned even before ``k`` results
+    exist.  Sound whenever the caller already holds ``k`` answers with
+    similarity ``>= bound`` (the sharded coordinator's global kth-best
+    pushdown); ties at ``bound`` are never pruned.
     """
     stats = KnnStats(database_size=len(tree))
     if k <= 0 or len(tree) == 0:
@@ -49,7 +64,8 @@ def knn_query(
     with trace.span("ctree.knn_query", k=k, database_size=len(tree),
                     mapping=mapping_method) as root_span:
         start = time.perf_counter()
-        results = _knn_search(tree, query, k, mapping_method, stats)
+        results = _knn_search(tree, query, k, mapping_method, stats,
+                              canonical=canonical, bound=bound)
         stats.seconds = time.perf_counter() - start
         root_span.set(results=len(results))
     stats.publish()
@@ -62,8 +78,15 @@ def _knn_search(
     k: int,
     mapping_method: str,
     stats: KnnStats,
+    canonical: bool = False,
+    bound: float = float("-inf"),
 ) -> list[tuple[int, float]]:
-    """The incremental-ranking heap loop of Algorithm 4."""
+    """The incremental-ranking heap loop of Algorithm 4.
+
+    See :func:`knn_query` for the ``canonical`` (tie-stable total order)
+    and ``bound`` (external kth-best pushdown) extensions; both default
+    to the paper-faithful behavior.
+    """
     counter = itertools.count()
     # Query-side label sets and matching indexes, extracted once and reused
     # for every Eqn. (7) bound along the traversal.
@@ -76,11 +99,15 @@ def _knn_search(
     # is the optimal multi-step scheme of [24] the paper builds on.
     _NODE, _GRAPH_BOUND, _GRAPH_EXACT = 0, 1, 2
     heap: list[tuple[float, int, int, object]] = []
-    heapq.heappush(heap, (0.0, next(counter), _NODE, tree.root))
+    # The root is seeded with an infinite key so no external ``bound``
+    # can prune it before expansion.
+    heapq.heappush(heap, (float("-inf"), next(counter), _NODE, tree.root))
 
     # Min-heap of the current k best exact similarities (top = lower bound).
+    # An external ``bound`` (the coordinator's global kth-best) is a floor
+    # the running threshold never drops below.
     best_k: list[float] = []
-    lower_bound = float("-inf")
+    lower_bound = bound
 
     def note_similarity(sim: float) -> None:
         nonlocal lower_bound
@@ -89,10 +116,18 @@ def _knn_search(
         else:
             heapq.heappushpop(best_k, sim)
         if len(best_k) >= k:
-            lower_bound = best_k[0]
+            lower_bound = max(best_k[0], bound)
 
     results: list[tuple[int, float]] = []
-    while heap and len(results) < k:
+    while heap:
+        if len(results) >= k:
+            if not canonical:
+                break
+            # Canonical mode keeps draining boundary ties: the heap pops
+            # in decreasing key order, so the first key strictly below
+            # the kth-best similarity ends the query.
+            if -heap[0][0] < results[k - 1][1]:
+                break
         neg_key, _, kind, payload = heapq.heappop(heap)
         if -neg_key < lower_bound:
             stats.pruned_by_bound += 1
@@ -123,22 +158,30 @@ def _knn_search(
             with trace.span("ctree.knn.expand") as sp:
                 for child in node.children:
                     stats.children_scored += 1
-                    bound = sqc.sim_upper_bound(
+                    child_bound = sqc.sim_upper_bound(
                         CTreeNode.child_graph_like(child)
                     )
-                    if bound < lower_bound:
+                    if child_bound < lower_bound:
                         stats.pruned_by_bound += 1
                         continue
                     if isinstance(child, LeafEntry):
                         heapq.heappush(
-                            heap, (-bound, next(counter), _GRAPH_BOUND, child)
+                            heap,
+                            (-child_bound, next(counter), _GRAPH_BOUND, child),
                         )
                     else:
                         heapq.heappush(
-                            heap, (-bound, next(counter), _NODE, child)
+                            heap, (-child_bound, next(counter), _NODE, child)
                         )
                 sp.set(fanout=len(node.children))
 
+    if canonical:
+        # Total order: similarity desc, graph id asc — independent of
+        # traversal order, so every shard (and the serial reference)
+        # resolves boundary ties identically.
+        results.sort(key=lambda t: (-t[1], t[0]))
+        del results[k:]
+        stats.results = len(results)
     return results
 
 

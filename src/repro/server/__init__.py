@@ -12,6 +12,12 @@ HTTP/1.1 server:
 - :mod:`repro.server.app` — routing, strict graph-JSON validation,
   ``/metrics`` (Prometheus text) and ``/healthz`` (``fsck`` probe).
 
+A :class:`~repro.ctree.shards.ShardSet` is accepted wherever a tree
+is: :class:`QueryServer` then serves through the scatter-gather
+:class:`~repro.ctree.shards.ShardedEngine` (one worker process per
+shard) and ``/healthz`` probes every shard plus the placement
+manifest.
+
 The API reference, streaming format, error codes and the ops runbook
 live in ``docs/SERVING.md``.
 
@@ -23,6 +29,7 @@ Examples
 
 from repro.server.app import (
     QueryServer,
+    ServableIndex,
     ServerConfig,
     ServerThread,
     SlowQueryLog,
@@ -43,6 +50,7 @@ __all__ = [
     "HTTPRequest",
     "ProtocolError",
     "QueryServer",
+    "ServableIndex",
     "ServerConfig",
     "ServerThread",
     "SlowQueryLog",

@@ -14,7 +14,9 @@
   :class:`~repro.obs.metrics.MetricsRegistry` in Prometheus text
   format; ``GET /healthz`` reports index health, running a cheap
   :meth:`DiskCTree.fsck <repro.ctree.diskindex.DiskCTree.fsck>` probe
-  for disk-backed indexes (TTL-cached);
+  for disk-backed indexes and a full
+  :func:`~repro.ctree.shards.fsck_shards` sweep (manifest placement +
+  per-shard fsck) for shard directories (TTL-cached);
 - every error is a typed JSON envelope
   ``{"request_id": ..., "error": {"code": ..., "message": ...}}`` with
   the matching HTTP status (400/404/405/413/429/431/500/501/503);
@@ -54,10 +56,11 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass
-from typing import IO, Optional
+from typing import IO, Optional, Union
 
 from repro.ctree.diskindex import DiskCTree
 from repro.ctree.parallel import Index, QueryEngine
+from repro.ctree.shards import ShardSet, ShardedEngine, fsck_shards
 from repro.exceptions import GraphError, ReproError
 from repro.graphs.graph import Graph
 from repro.obs import trace
@@ -75,8 +78,12 @@ from repro.server.protocol import (
     send_response,
 )
 
-__all__ = ["QueryServer", "ServerConfig", "ServerThread", "SlowQueryLog",
-           "new_request_id", "sanitize_request_id"]
+__all__ = ["QueryServer", "ServableIndex", "ServerConfig", "ServerThread",
+           "SlowQueryLog", "new_request_id", "sanitize_request_id"]
+
+#: Anything the server can put behind a socket: a single tree (memory
+#: or disk) or a sharded partition of one database.
+ServableIndex = Union[Index, ShardSet]
 
 #: Valid K-NN mapping methods (mirrors the CLI's choices).
 _MAPPING_METHODS = ("nbm", "bipartite", "bipartite_unweighted")
@@ -324,12 +331,16 @@ class HealthProbe:
     :meth:`DiskCTree.fsck <repro.ctree.diskindex.DiskCTree.fsck>`
     against the page file (checksums, free list, reachability, closure
     containment) on its own executor thread, so a slow probe never
-    blocks query serving.  For an in-memory tree it verifies the basic
-    shape invariants (non-negative size, positive height on non-empty
-    trees).  The result is cached for ``ttl`` seconds.
+    blocks query serving.  For a :class:`~repro.ctree.shards.ShardSet`
+    backed by a shard directory it runs
+    :func:`~repro.ctree.shards.fsck_shards` — the placement manifest
+    check plus one fsck per shard — and reports per-shard cleanliness.
+    For an in-memory tree (or in-memory shard set) it verifies the
+    basic shape invariants (non-negative size, positive height on
+    non-empty trees).  The result is cached for ``ttl`` seconds.
     """
 
-    def __init__(self, index: Index, ttl: float = 5.0,
+    def __init__(self, index: ServableIndex, ttl: float = 5.0,
                  registry: Optional[MetricsRegistry] = None) -> None:
         self.index = index
         self.ttl = max(0.0, float(ttl))
@@ -341,6 +352,8 @@ class HealthProbe:
     def _probe(self) -> tuple[bool, dict]:
         """Run the actual check (blocking; called on an executor)."""
         self._registry.counter("server.healthz.probes").inc()
+        if isinstance(self.index, ShardSet):
+            return self._probe_shards()
         if isinstance(self.index, DiskCTree):
             if self.index.path is None:
                 return True, {"probe": "none",
@@ -362,6 +375,42 @@ class HealthProbe:
         healthy = (len(self.index) >= 0
                    and (len(self.index) == 0 or self.index.height() >= 1))
         return healthy, {"probe": "memory", "graphs": len(self.index)}
+
+    def _probe_shards(self) -> tuple[bool, dict]:
+        """Health of a :class:`~repro.ctree.shards.ShardSet`: the full
+        :func:`~repro.ctree.shards.fsck_shards` sweep for a shard
+        directory, a per-shard shape check for in-memory shards."""
+        sset = self.index
+        if sset.is_disk and sset.directory is not None:
+            try:
+                report = fsck_shards(sset.directory)
+            except ReproError as exc:
+                return False, {"probe": "fsck_shards",
+                               "errors": [str(exc)]}
+            payload = {
+                "probe": "fsck_shards",
+                "clean": report.clean,
+                "shards": report.shard_count,
+                "graphs": report.total_graphs,
+                "shard_clean": [r.clean for r in report.reports],
+            }
+            errors = list(report.errors)
+            for shard_report in report.reports:
+                errors.extend(shard_report.errors)
+            if errors:
+                payload["errors"] = errors
+            return report.clean, payload
+        healthy = all(
+            shard.tree is not None
+            and (len(shard.tree) == 0 or shard.tree.height() >= 1)
+            for shard in sset.shards
+        )
+        return healthy, {
+            "probe": "memory",
+            "shards": sset.shard_count,
+            "graphs": len(sset),
+            "shard_sizes": sset.shard_sizes(),
+        }
 
     async def check(self, executor) -> tuple[bool, dict]:
         """The (possibly cached) health verdict and its detail payload."""
@@ -422,8 +471,12 @@ class QueryServer:
     Parameters
     ----------
     index:
-        A built :class:`~repro.ctree.tree.CTree` or open
-        :class:`~repro.ctree.diskindex.DiskCTree`.
+        A built :class:`~repro.ctree.tree.CTree`, an open
+        :class:`~repro.ctree.diskindex.DiskCTree`, or a
+        :class:`~repro.ctree.shards.ShardSet` (queries are then served
+        by a scatter-gather
+        :class:`~repro.ctree.shards.ShardedEngine` with one worker
+        process per shard, and ``/healthz`` probes every shard).
     config:
         A :class:`ServerConfig` (defaults serve localhost:8744 with an
         in-process engine).
@@ -437,16 +490,23 @@ class QueryServer:
     ...     _ = handle.port   # POST /query, GET /metrics, ... land here
     """
 
-    def __init__(self, index: Index,
+    def __init__(self, index: ServableIndex,
                  config: Optional[ServerConfig] = None) -> None:
         self.index = index
         self.config = config or ServerConfig()
-        self.engine = QueryEngine(
-            index,
-            workers=self.config.workers,
-            cache_size=self.config.cache_size,
-            cache_pages=self.config.cache_pages,
-        )
+        if isinstance(index, ShardSet):
+            self.engine = ShardedEngine(
+                index,
+                cache_size=self.config.cache_size,
+                cache_pages=self.config.cache_pages,
+            )
+        else:
+            self.engine = QueryEngine(
+                index,
+                workers=self.config.workers,
+                cache_size=self.config.cache_size,
+                cache_pages=self.config.cache_pages,
+            )
         self._registry = global_registry()
         self.coalescer = BatchCoalescer(
             self.engine,
@@ -563,6 +623,10 @@ class QueryServer:
         return ServerThread(self, thread, box["loop"], box["stop"])
 
     def _describe_index(self) -> str:
+        if isinstance(self.index, ShardSet):
+            backend = "disk" if self.index.is_disk else "memory"
+            return (f"sharded {backend} index, "
+                    f"S={self.index.shard_count}, |D|={len(self.index)}")
         kind = "disk" if isinstance(self.index, DiskCTree) else "memory"
         return f"{kind} index, |D|={len(self.index)}"
 
@@ -688,11 +752,14 @@ class QueryServer:
     # Endpoints
     # ------------------------------------------------------------------
     async def _handle_info(self, request, writer, peer_id) -> None:
-        index_info = {
-            "kind": "disk" if isinstance(self.index, DiskCTree)
-                    else "memory",
-            "graphs": len(self.index),
-        }
+        if isinstance(self.index, ShardSet):
+            index_info = {"kind": "sharded", **self.index.describe()}
+        else:
+            index_info = {
+                "kind": "disk" if isinstance(self.index, DiskCTree)
+                        else "memory",
+                "graphs": len(self.index),
+            }
         if isinstance(self.index, DiskCTree):
             index_info["generation"] = self.index.generation
             index_info["height"] = self.index.height

@@ -1,0 +1,358 @@
+"""Sharded scatter-gather engine: placement, persistence, determinism.
+
+The tentpole contract: a :class:`~repro.ctree.shards.ShardedEngine`
+over any partition of the database answers **bit-identically** to the
+single-tree reference at every shard count S, every placement, both
+backends, with the bitset kernels on and off — subgraph answers equal
+``sorted()`` of the serial loop (and the frozen golden oracle), K-NN
+equals the canonical single-tree ``knn_query(..., canonical=True)``.
+Also covered here: the placement functions' partition invariants, the
+manifest round-trip, ``fsck_shards``, the bound-pushdown mode, and the
+``QueryEngine`` satellite features (injected cache object, ``shards=S``
+delegation).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.graphs.graph import Graph
+from repro.graphs.io import load_graph_database
+from repro.ctree.bulkload import bulk_load
+from repro.ctree.diskindex import DiskCTree
+from repro.ctree.parallel import QueryEngine
+from repro.ctree.shardcache import LRUAnswerCache
+from repro.ctree.shards import (
+    Shard,
+    ShardSet,
+    ShardedEngine,
+    fsck_shards,
+    place_graphs,
+)
+from repro.ctree.similarity_query import knn_query
+from repro.ctree.subgraph_query import subgraph_query
+from repro.matching import kernels
+
+_DATA = Path(__file__).parent / "data"
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    db = load_graph_database(_DATA / "golden_chem.jsonl")
+    expected = json.loads((_DATA / "golden_answers.json").read_text())
+    return db, expected
+
+
+@pytest.fixture(scope="module")
+def golden_queries(golden):
+    _, expected = golden
+    return [Graph.from_dict(case["query"]) for case in expected["subgraph"]]
+
+
+@pytest.fixture(scope="module")
+def golden_tree(golden):
+    db, _ = golden
+    return bulk_load(db, min_fanout=3)
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+class TestPlacement:
+    @pytest.mark.parametrize("placement", ["hash", "closure"])
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_partition_invariants(self, golden, placement, shards):
+        db, _ = golden
+        lists = place_graphs(db, shards, placement)
+        assert len(lists) == shards
+        flat = [gid for gids in lists for gid in gids]
+        # Every graph on exactly one shard...
+        assert sorted(flat) == list(range(len(db)))
+        # ...in ascending id order within each shard (the merge relies
+        # on local->global id translation being monotone)...
+        for gids in lists:
+            assert gids == sorted(gids)
+        # ...and capacity-balanced.
+        cap = math.ceil(len(db) / shards)
+        assert all(len(gids) <= cap for gids in lists)
+
+    def test_hash_is_round_robin(self, golden):
+        db, _ = golden
+        lists = place_graphs(db, 3, "hash")
+        for s, gids in enumerate(lists):
+            assert all(gid % 3 == s for gid in gids)
+
+    def test_closure_is_deterministic(self, golden):
+        db, _ = golden
+        assert place_graphs(db, 3, "closure") == \
+            place_graphs(db, 3, "closure")
+
+    def test_rejects_bad_arguments(self, golden):
+        db, _ = golden
+        with pytest.raises(ConfigError):
+            place_graphs(db, 0, "hash")
+        with pytest.raises(ConfigError):
+            place_graphs(db, len(db) + 1, "hash")
+        with pytest.raises(ConfigError):
+            place_graphs(db, 2, "random")
+
+    def test_duplicate_placement_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardSet([Shard(gids=[0, 1]), Shard(gids=[1, 2])],
+                     placement="hash")
+
+
+# ----------------------------------------------------------------------
+# Persistence: manifest round-trip and fsck
+# ----------------------------------------------------------------------
+class TestShardDirectory:
+    def test_create_open_roundtrip(self, golden, tmp_path):
+        db, _ = golden
+        directory = tmp_path / "idx.shards"
+        created = ShardSet.create(db, directory, shards=3,
+                                  placement="closure", min_fanout=3)
+        reopened = ShardSet.open(directory)
+        assert reopened.is_disk
+        assert reopened.shard_count == 3
+        assert len(reopened) == len(db)
+        assert [s.gids for s in reopened.shards] == \
+            [s.gids for s in created.shards]
+        assert reopened.placement == "closure"
+
+    def test_fsck_clean(self, golden, tmp_path):
+        db, _ = golden
+        directory = tmp_path / "idx.shards"
+        ShardSet.create(db, directory, shards=2, min_fanout=3)
+        report = fsck_shards(directory)
+        assert report.clean
+        assert report.shard_count == 2
+        assert report.total_graphs == len(db)
+        assert all(r.clean for r in report.reports)
+
+    def test_fsck_catches_duplicate_placement(self, golden, tmp_path):
+        db, _ = golden
+        directory = tmp_path / "idx.shards"
+        ShardSet.create(db, directory, shards=2, min_fanout=3)
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        # Place shard 1's first graph on shard 0 as well.
+        dup = manifest["shards"][1]["graphs"][0]
+        manifest["shards"][0]["graphs"].append(dup)
+        manifest_path.write_text(json.dumps(manifest))
+        report = fsck_shards(directory)
+        assert not report.clean
+        assert any("placed on shards" in e for e in report.errors)
+
+    def test_fsck_catches_count_mismatch(self, golden, tmp_path):
+        db, _ = golden
+        directory = tmp_path / "idx.shards"
+        ShardSet.create(db, directory, shards=2, min_fanout=3)
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"][0]["graphs"].pop()
+        manifest_path.write_text(json.dumps(manifest))
+        report = fsck_shards(directory)
+        assert not report.clean
+
+    def test_fsck_missing_manifest(self, tmp_path):
+        report = fsck_shards(tmp_path)
+        assert not report.clean
+
+
+# ----------------------------------------------------------------------
+# Engine determinism: the tentpole gate
+# ----------------------------------------------------------------------
+def _serial_reference(golden, golden_queries, golden_tree):
+    """Single-tree serial answers in canonical form."""
+    subgraph = [sorted(subgraph_query(golden_tree, q)[0])
+                for q in golden_queries]
+    knn = [knn_query(golden_tree, q, 4, canonical=True)[0]
+           for q in golden_queries]
+    return subgraph, knn
+
+
+class TestShardedEngineDeterminism:
+    @pytest.mark.parametrize("kernels_on", [True, False],
+                             ids=["kernels", "reference"])
+    @pytest.mark.parametrize("placement", ["hash", "closure"])
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_memory_identical_to_serial(self, golden, golden_queries,
+                                        golden_tree, shards, placement,
+                                        kernels_on):
+        db, expected = golden
+        with kernels.use_kernels(kernels_on):
+            ref_subgraph, ref_knn = _serial_reference(
+                golden, golden_queries, golden_tree
+            )
+            sset = ShardSet.build_memory(db, shards, placement,
+                                         min_fanout=3)
+            with ShardedEngine(sset) as engine:
+                sub_results = engine.query_many(golden_queries)
+                knn_results = engine.knn_many(golden_queries, 4)
+        assert [a for a, _ in sub_results] == ref_subgraph
+        assert [r for r, _ in knn_results] == ref_knn
+        # The frozen golden oracle pins the answer *sets* end to end.
+        assert [a for a, _ in sub_results] == \
+            [sorted(case["answers"]) for case in expected["subgraph"]]
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_disk_identical_to_single_disk_tree(self, golden,
+                                                golden_queries,
+                                                golden_tree, tmp_path,
+                                                shards):
+        db, _ = golden
+        single_path = tmp_path / "single.ctp"
+        DiskCTree.create(golden_tree, single_path, page_size=512,
+                         cache_pages=32).close()
+        directory = tmp_path / "idx.shards"
+        ShardSet.create(db, directory, shards=shards, min_fanout=3,
+                        page_size=512)
+        with DiskCTree.open(single_path, cache_pages=32) as disk:
+            ref_subgraph = [sorted(disk.subgraph_query(q)[0])
+                            for q in golden_queries]
+            ref_knn = [disk.knn_query(q, 4, canonical=True)[0]
+                       for q in golden_queries]
+        with ShardedEngine(ShardSet.open(directory)) as engine:
+            sub_results = engine.query_many(golden_queries)
+            knn_results = engine.knn_many(golden_queries, 4)
+        assert [a for a, _ in sub_results] == ref_subgraph
+        assert [r for r, _ in knn_results] == ref_knn
+
+    def test_inline_fallback_identical(self, golden, golden_queries,
+                                       golden_tree):
+        """With fork unavailable the coordinator answers in-process;
+        the answers must not change."""
+        db, _ = golden
+        sset = ShardSet.build_memory(db, 3, "closure", min_fanout=3)
+        with ShardedEngine(sset) as forked:
+            want_sub = forked.query_many(golden_queries)
+            want_knn = forked.knn_many(golden_queries, 4)
+        inline = ShardedEngine(sset)
+        inline._fork_ok = False
+        with inline:
+            got_sub = inline.query_many(golden_queries)
+            got_knn = inline.knn_many(golden_queries, 4)
+        assert inline._pools is None
+        assert [a for a, _ in got_sub] == [a for a, _ in want_sub]
+        assert [r for r, _ in got_knn] == [r for r, _ in want_knn]
+
+    def test_pushdown_identical_answers(self, golden, golden_queries):
+        db, _ = golden
+        sset = ShardSet.build_memory(db, 4, "closure", min_fanout=3)
+        with ShardedEngine(sset) as scatter:
+            want = scatter.knn_many(golden_queries, 4)
+        with ShardedEngine(sset, pushdown=True) as pushed:
+            got = pushed.knn_many(golden_queries, 4)
+        assert [r for r, _ in got] == [r for r, _ in want]
+
+    def test_merged_stats_cover_whole_database(self, golden,
+                                               golden_queries):
+        db, _ = golden
+        sset = ShardSet.build_memory(db, 2, "hash", min_fanout=3)
+        with ShardedEngine(sset) as engine:
+            _, stats = engine.query_many(golden_queries[:1])[0]
+        assert stats.database_size == len(db)
+
+
+# ----------------------------------------------------------------------
+# Engine cache behavior
+# ----------------------------------------------------------------------
+class TestShardedEngineCache:
+    def test_second_engine_hits_shared_cache_without_shards(self, golden,
+                                                            golden_queries):
+        """A second engine given the same cache object serves the whole
+        batch from it: no pools are ever created."""
+        db, _ = golden
+        cache = LRUAnswerCache(256)
+        sset = ShardSet.build_memory(db, 2, "hash", min_fanout=3)
+        with ShardedEngine(sset, cache=cache) as first:
+            want = first.query_many(golden_queries)
+            assert first.last_batch.cache_hits == 0
+        second = ShardedEngine(sset, cache=cache)
+        got = second.query_many(golden_queries)
+        assert second._pools is None
+        assert second.last_batch.cache_hits == len(golden_queries)
+        assert [a for a, _ in got] == [a for a, _ in want]
+
+    def test_refresh_clears_cache(self, golden, golden_queries):
+        db, _ = golden
+        cache = LRUAnswerCache(256)
+        sset = ShardSet.build_memory(db, 2, "hash", min_fanout=3)
+        with ShardedEngine(sset, cache=cache) as engine:
+            engine.query_many(golden_queries[:2])
+            assert cache.entries > 0
+            engine.refresh()
+            assert cache.entries == 0
+
+
+# ----------------------------------------------------------------------
+# QueryEngine satellites: injected cache, shards delegation
+# ----------------------------------------------------------------------
+class TestQueryEngineSatellites:
+    def test_injected_cache_is_used(self, golden, golden_queries,
+                                    golden_tree):
+        cache = LRUAnswerCache(256)
+        with QueryEngine(golden_tree, cache=cache) as engine:
+            engine.query_many(golden_queries)
+        assert cache.entries > 0
+        # A fresh engine sharing the object starts warm.
+        with QueryEngine(golden_tree, cache=cache) as warm:
+            warm.query_many(golden_queries)
+            assert warm.last_batch.cache_hits == len(golden_queries)
+
+    def test_default_cache_unchanged(self, golden_tree, golden_queries):
+        with QueryEngine(golden_tree, cache_size=256) as engine:
+            engine.query_many(golden_queries)
+            first = engine.last_batch
+            engine.query_many(golden_queries)
+            second = engine.last_batch
+        assert first.cache_hits == 0
+        assert second.cache_hits == len(golden_queries)
+
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_shards_delegation(self, golden, golden_queries, golden_tree,
+                               shards):
+        ref_sub = [sorted(subgraph_query(golden_tree, q)[0])
+                   for q in golden_queries]
+        ref_knn = [knn_query(golden_tree, q, 4, canonical=True)[0]
+                   for q in golden_queries]
+        with QueryEngine(golden_tree, shards=shards) as engine:
+            sub = engine.query_many(golden_queries)
+            assert engine.last_batch.workers == shards
+            knn = engine.knn_many(golden_queries, 4)
+        assert [a for a, _ in sub] == ref_sub
+        assert [r for r, _ in knn] == ref_knn
+
+
+# ----------------------------------------------------------------------
+# Canonical K-NN mode of the serial query paths
+# ----------------------------------------------------------------------
+class TestCanonicalKnn:
+    def test_canonical_is_tie_sorted(self, golden_tree, golden_queries):
+        for q in golden_queries:
+            results, _ = knn_query(golden_tree, q, 4, canonical=True)
+            assert results == sorted(results,
+                                     key=lambda t: (-t[1], t[0]))
+
+    def test_default_mode_unchanged_set(self, golden_tree,
+                                        golden_queries):
+        """Canonical mode may reorder ties but must return a top-k
+        with the same similarity multiset as the default mode."""
+        for q in golden_queries:
+            default, _ = knn_query(golden_tree, q, 4)
+            canonical, _ = knn_query(golden_tree, q, 4, canonical=True)
+            assert sorted(s for _, s in default) == \
+                sorted(s for _, s in canonical)
+
+    def test_bound_pushdown_prunes_not_answers(self, golden_tree,
+                                               golden_queries):
+        for q in golden_queries:
+            full, _ = knn_query(golden_tree, q, 4, canonical=True)
+            kth = full[-1][1] if len(full) == 4 else float("-inf")
+            bounded, stats = knn_query(golden_tree, q, 4,
+                                       canonical=True, bound=kth)
+            assert bounded == full
